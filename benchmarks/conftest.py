@@ -1,0 +1,82 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper on a *scaled*
+platform: request lengths are divided by :data:`SCALE` and the KV-token
+capacity is divided by the same factor, which preserves the ratio between
+request footprints and pool capacity (the quantity scheduling behaviour
+depends on) while keeping each simulated run in the seconds range.
+
+Each benchmark writes the series/rows it reproduces as a plain-text table to
+``results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.hardware.platform import Platform, paper_platform
+from repro.serving.sla import SLASpec
+from repro.workloads.spec import Workload, scale_workload
+
+#: Length/capacity scale factor applied to every benchmark workload.
+SCALE = 1.0 / 16.0
+
+#: Scaled KV-token capacity corresponding to Llama-2-7B on an A100-80G
+#: (121,744 slots in the full-size platform).
+CAPACITY_7B_A100 = int(paper_platform("7b-a100").token_capacity * SCALE)
+CAPACITY_13B_A100 = int(paper_platform("13b-a100").token_capacity * SCALE)
+CAPACITY_70B_A100X4 = int(paper_platform("70b-a100x4").token_capacity * SCALE)
+
+#: SLA used for the scaled 7B/13B benchmarks.  TTFT matches the paper (10 s).
+#: The MTPOT bound is tightened from the paper's 1.5 s to 0.5 s because
+#: scaling request lengths by 1/16 shortens eviction-induced stalls (which are
+#: proportional to how long the rest of the batch needs to free memory) by
+#: roughly the same factor, while ordinary inter-token gaps stay in the tens
+#: of milliseconds; 0.5 s keeps the paper's separation between "normal decode
+#: cadence" and "eviction stall" on the scaled platform.
+SLA_SCALED_SMALL = SLASpec(ttft_limit=10.0, mtpot_limit=0.5)
+SLA_SCALED_LARGE = SLASpec(ttft_limit=15.0, mtpot_limit=1.0)
+
+#: Per-iteration prefill-token cap used by the scaled benchmarks (8192 tokens
+#: at full scale, scaled down with the workload lengths).  Serving frameworks
+#: bound the tokens of one forward pass, which keeps admission bursts from
+#: stalling the decode cadence.
+PREFILL_CAP_SCALED = int(8192 * SCALE)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks drop their text reports."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def platform_7b() -> Platform:
+    return paper_platform("7b-a100")
+
+
+@pytest.fixture(scope="session")
+def platform_13b() -> Platform:
+    return paper_platform("13b-a100")
+
+
+@pytest.fixture(scope="session")
+def platform_70b() -> Platform:
+    return paper_platform("70b-a100x4")
+
+
+def scaled(workload: Workload) -> Workload:
+    """Scale a paper workload down by :data:`SCALE`."""
+    return scale_workload(workload, SCALE)
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Write one benchmark's text report and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

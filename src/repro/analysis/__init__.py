@@ -1,0 +1,40 @@
+"""Experiment drivers, sweeps, and text-table rendering."""
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    memory_report_from_run,
+    quick_platform,
+    run_experiment,
+    run_framework,
+)
+from repro.analysis.sweep import (
+    FrameworkPoint,
+    ParameterPoint,
+    SweepPoint,
+    best_goodput,
+    best_throughput,
+    client_sweep,
+    framework_sweep,
+    parameter_sweep,
+    scheduler_comparison_sweep,
+)
+from repro.analysis.tables import render_curves, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "memory_report_from_run",
+    "quick_platform",
+    "run_experiment",
+    "run_framework",
+    "FrameworkPoint",
+    "ParameterPoint",
+    "SweepPoint",
+    "best_goodput",
+    "best_throughput",
+    "client_sweep",
+    "framework_sweep",
+    "parameter_sweep",
+    "scheduler_comparison_sweep",
+    "render_curves",
+    "render_table",
+]

@@ -1,0 +1,220 @@
+"""Parameter sweeps: goodput vs client count, scheduler-parameter trade-offs.
+
+These drive the paper's sweep-style figures:
+
+* Figure 7 — goodput as the number of concurrent clients grows, per scheduler;
+* Figure 8 — decoding steps vs evicted-request fraction as scheduler
+  parameters vary on a shifting workload;
+* Figure 9 — maximum throughput and goodput per framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.analysis.experiments import ExperimentConfig, run_experiment, run_framework
+from repro.frameworks.profiles import FrameworkProfile
+from repro.hardware.platform import Platform
+from repro.serving.results import RunResult
+from repro.serving.sla import SLASpec
+from repro.workloads.spec import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a goodput-vs-clients curve."""
+
+    scheduler: str
+    num_clients: int
+    goodput: float
+    throughput: float
+    compliance_rate: float
+    evictions: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary row for table rendering."""
+        return {
+            "scheduler": self.scheduler,
+            "clients": self.num_clients,
+            "goodput_tok_s": round(self.goodput, 1),
+            "throughput_tok_s": round(self.throughput, 1),
+            "sla_compliance": f"{self.compliance_rate:.1%}",
+            "evictions": self.evictions,
+        }
+
+
+def client_sweep(
+    config: ExperimentConfig,
+    workload: Workload,
+    client_counts: Sequence[int],
+    sla: SLASpec | None = None,
+) -> list[SweepPoint]:
+    """Run the same workload at several concurrency levels (Figure 7 curves)."""
+    sla = sla or config.default_sla()
+    points: list[SweepPoint] = []
+    for num_clients in client_counts:
+        run_config = replace(config, num_clients=num_clients)
+        result = run_experiment(run_config, workload)
+        summary = result.throughput_summary(sla)
+        points.append(
+            SweepPoint(
+                scheduler=result.scheduler,
+                num_clients=num_clients,
+                goodput=summary.goodput,
+                throughput=summary.throughput,
+                compliance_rate=summary.compliance_rate,
+                evictions=result.total_evictions,
+            )
+        )
+    return points
+
+
+def scheduler_comparison_sweep(
+    platform: Platform,
+    workload: Workload,
+    client_counts: Sequence[int],
+    scheduler_configs: dict[str, dict],
+    sla: SLASpec | None = None,
+    token_capacity_override: int | None = None,
+    chunked_prefill_tokens: int | None = None,
+) -> dict[str, list[SweepPoint]]:
+    """Figure-7 style comparison: one goodput curve per scheduler config.
+
+    Args:
+        scheduler_configs: mapping of curve label to
+            ``{"scheduler_name": ..., "scheduler_kwargs": {...}}``.
+    """
+    curves: dict[str, list[SweepPoint]] = {}
+    for label, spec in scheduler_configs.items():
+        config = ExperimentConfig(
+            platform=platform,
+            scheduler_name=spec["scheduler_name"],
+            scheduler_kwargs=spec.get("scheduler_kwargs", {}),
+            token_capacity_override=token_capacity_override,
+            chunked_prefill_tokens=chunked_prefill_tokens,
+        )
+        curves[label] = client_sweep(config, workload, client_counts, sla=sla)
+    return curves
+
+
+@dataclass(frozen=True)
+class ParameterPoint:
+    """One point of the Figure-8 decoding-steps vs evicted-requests trade-off."""
+
+    scheduler: str
+    parameter: str
+    decoding_steps: int
+    evicted_fraction: float
+    consumed_memory_fraction: float
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary row for table rendering."""
+        return {
+            "scheduler": self.scheduler,
+            "parameter": self.parameter,
+            "decoding_steps": self.decoding_steps,
+            "evicted_requests": f"{self.evicted_fraction:.1%}",
+            "consumed_memory": f"{self.consumed_memory_fraction:.1%}",
+        }
+
+
+def parameter_sweep(
+    platform: Platform,
+    workload: Workload,
+    configurations: Sequence[tuple[str, str, dict]],
+    num_clients: int = 64,
+    token_capacity_override: int | None = None,
+    chunked_prefill_tokens: int | None = None,
+) -> list[ParameterPoint]:
+    """Sweep scheduler parameters on a fixed workload (Figure 8 / Table 1).
+
+    Args:
+        configurations: tuples of (label, scheduler_name, scheduler_kwargs).
+    """
+    from repro.analysis.experiments import memory_report_from_run
+
+    points: list[ParameterPoint] = []
+    for label, scheduler_name, scheduler_kwargs in configurations:
+        config = ExperimentConfig(
+            platform=platform,
+            scheduler_name=scheduler_name,
+            scheduler_kwargs=scheduler_kwargs,
+            num_clients=num_clients,
+            token_capacity_override=token_capacity_override,
+            chunked_prefill_tokens=chunked_prefill_tokens,
+        )
+        result = run_experiment(config, workload)
+        report = memory_report_from_run(result)
+        points.append(
+            ParameterPoint(
+                scheduler=result.scheduler,
+                parameter=label,
+                decoding_steps=report.decoding_steps,
+                evicted_fraction=report.evicted_request_fraction,
+                consumed_memory_fraction=report.consumed_memory_fraction,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FrameworkPoint:
+    """Throughput and goodput of one framework at one concurrency level."""
+
+    framework: str
+    num_clients: int
+    throughput: float
+    goodput: float
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary row for table rendering."""
+        return {
+            "framework": self.framework,
+            "clients": self.num_clients,
+            "throughput_tok_s": round(self.throughput, 1),
+            "goodput_tok_s": round(self.goodput, 1),
+        }
+
+
+def framework_sweep(
+    profiles: Sequence[FrameworkProfile],
+    platform: Platform,
+    workload: Workload,
+    client_counts: Sequence[int],
+    sla: SLASpec,
+    token_capacity_override: int | None = None,
+) -> dict[str, list[FrameworkPoint]]:
+    """Figure-9 style framework comparison across concurrency levels."""
+    curves: dict[str, list[FrameworkPoint]] = {}
+    for profile in profiles:
+        points: list[FrameworkPoint] = []
+        for num_clients in client_counts:
+            result = run_framework(
+                profile,
+                platform,
+                workload,
+                num_clients=num_clients,
+                token_capacity_override=token_capacity_override,
+            )
+            summary = result.throughput_summary(sla)
+            points.append(
+                FrameworkPoint(
+                    framework=profile.name,
+                    num_clients=num_clients,
+                    throughput=summary.throughput,
+                    goodput=summary.goodput,
+                )
+            )
+        curves[profile.name] = points
+    return curves
+
+
+def best_goodput(points: Sequence[SweepPoint | FrameworkPoint]) -> float:
+    """The best goodput across a sweep (the paper reports curve maxima)."""
+    return max((p.goodput for p in points), default=0.0)
+
+
+def best_throughput(points: Sequence[FrameworkPoint]) -> float:
+    """The best raw throughput across a sweep."""
+    return max((p.throughput for p in points), default=0.0)

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benches, examples, and EXPERIMENTS.md.
+
+No plotting dependency is available offline, so every figure of the paper is
+re-emitted as a table of the series it plots.  :func:`render_table` produces a
+fixed-width text table from dictionaries; :func:`render_curves` lays out one
+column per sweep curve.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dictionaries as an aligned fixed-width text table.
+
+    All rows must share the same keys; the key order of the first row defines
+    the column order.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ValueError("all rows must have identical keys in identical order")
+    widths = {
+        column: max(len(str(column)), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(str(row[column]).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def render_curves(
+    curves: Mapping[str, Sequence[object]],
+    x_label: str,
+    x_getter,
+    y_getter,
+    title: str | None = None,
+) -> str:
+    """Render sweep curves as one row per x value and one column per curve.
+
+    Args:
+        curves: mapping of curve label to sweep points.
+        x_label: name of the x-axis column.
+        x_getter: callable extracting the x value of a point.
+        y_getter: callable extracting the y value of a point.
+        title: optional heading.
+    """
+    x_values: list = []
+    for points in curves.values():
+        for point in points:
+            x = x_getter(point)
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort()
+    rows = []
+    for x in x_values:
+        row: dict[str, object] = {x_label: x}
+        for label, points in curves.items():
+            match = next((p for p in points if x_getter(p) == x), None)
+            row[label] = round(y_getter(match), 1) if match is not None else "-"
+        rows.append(row)
+    return render_table(rows, title=title)

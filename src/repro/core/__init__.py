@@ -1,0 +1,24 @@
+"""The paper's core contribution: the Past-Future scheduler and its parts."""
+
+from repro.core.future_memory import (
+    BatchEntry,
+    future_memory_profile,
+    memory_timeline,
+    peak_future_memory,
+    peak_future_memory_arrays,
+)
+from repro.core.history import OutputLengthHistory
+from repro.core.past_future import PastFutureScheduler
+from repro.core.predictor import OutputLengthPredictor, build_predictor
+
+__all__ = [
+    "BatchEntry",
+    "future_memory_profile",
+    "memory_timeline",
+    "peak_future_memory",
+    "peak_future_memory_arrays",
+    "OutputLengthHistory",
+    "PastFutureScheduler",
+    "OutputLengthPredictor",
+    "build_predictor",
+]

@@ -1,0 +1,122 @@
+"""Future-required-memory estimation (Section 3.3, Equations 2–4).
+
+Given the running batch at time *t*, each request *i* is described by
+
+* ``current_tokens[i]`` — the KV tokens it holds right now
+  (prompt + generated so far), and
+* ``remaining[i]`` — how many more tokens it is predicted to generate.
+
+Memory demand can only peak at the moments requests finish.  Sorting requests
+by *descending* remaining length (Eq. 2), the occupancy when request *i*
+(i.e. the *i*-th to finish counting from the longest-running end) completes is
+
+    M_i = sum_{j <= i} current_tokens[j] + remaining[i] * i        (Eq. 3)
+
+and the future required memory of the batch is ``max_i M_i`` (Eq. 4).  This is
+the minimum pool size that lets every admitted request run to completion with
+no eviction, assuming the remaining-length estimates hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One request's contribution to the future-memory calculation."""
+
+    current_tokens: int
+    remaining_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.current_tokens < 0:
+            raise ValueError("current_tokens must be non-negative")
+        if self.remaining_tokens < 0:
+            raise ValueError("remaining_tokens must be non-negative")
+
+
+def peak_future_memory(entries: Sequence[BatchEntry] | Iterable[BatchEntry]) -> int:
+    """Peak future memory (tokens) required to finish the batch (Eq. 2–4)."""
+    entries = list(entries)
+    if not entries:
+        return 0
+    current = np.array([e.current_tokens for e in entries], dtype=np.int64)
+    remaining = np.array([e.remaining_tokens for e in entries], dtype=np.int64)
+    return int(_peak_from_arrays(current, remaining))
+
+
+def future_memory_profile(entries: Sequence[BatchEntry]) -> list[int]:
+    """The per-completion occupancies ``[M_1, ..., M_k]`` of Eq. 3.
+
+    ``M_i`` is the memory occupied at the moment the request with the *i*-th
+    longest remaining generation finishes.  Useful for plotting the memory
+    timeline of Figure 5/6.
+    """
+    if not entries:
+        return []
+    current = np.array([e.current_tokens for e in entries], dtype=np.int64)
+    remaining = np.array([e.remaining_tokens for e in entries], dtype=np.int64)
+    return [int(m) for m in _profile_from_arrays(current, remaining)]
+
+
+def _order_by_remaining(current: np.ndarray, remaining: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    order = np.argsort(-remaining, kind="stable")
+    return current[order], remaining[order]
+
+
+def _profile_from_arrays(current: np.ndarray, remaining: np.ndarray) -> np.ndarray:
+    current_sorted, remaining_sorted = _order_by_remaining(current, remaining)
+    prefix = np.cumsum(current_sorted)
+    counts = np.arange(1, current_sorted.size + 1, dtype=np.int64)
+    return prefix + remaining_sorted * counts
+
+
+def _peak_from_arrays(current: np.ndarray, remaining: np.ndarray) -> int:
+    if current.size == 0:
+        return 0
+    return int(_profile_from_arrays(current, remaining).max())
+
+
+def peak_future_memory_arrays(current: np.ndarray | Sequence[int],
+                              remaining: np.ndarray | Sequence[int]) -> int:
+    """Array-based variant of :func:`peak_future_memory` (no dataclass boxing).
+
+    Used on the scheduler hot path, where entries are already numpy arrays.
+    """
+    current_arr = np.asarray(current, dtype=np.int64)
+    remaining_arr = np.asarray(remaining, dtype=np.int64)
+    if current_arr.shape != remaining_arr.shape:
+        raise ValueError("current and remaining must have the same shape")
+    if current_arr.ndim != 1:
+        raise ValueError("current and remaining must be 1-D")
+    if np.any(current_arr < 0) or np.any(remaining_arr < 0):
+        raise ValueError("token counts must be non-negative")
+    if current_arr.size == 0:
+        return 0
+    return _peak_from_arrays(current_arr, remaining_arr)
+
+
+def memory_timeline(entries: Sequence[BatchEntry]) -> list[int]:
+    """Occupied tokens at every future decode step until the batch drains.
+
+    Step 0 is "now".  At each subsequent step every unfinished request grows by
+    one token; requests whose remaining generation is exhausted release all
+    their tokens.  The maximum of this timeline equals
+    :func:`peak_future_memory`; the full series is used by the admission
+    walk-through example and the Figure 5/6 bench.
+    """
+    if not entries:
+        return [0]
+    current = np.array([e.current_tokens for e in entries], dtype=np.int64)
+    remaining = np.array([e.remaining_tokens for e in entries], dtype=np.int64)
+    horizon = int(remaining.max())
+    timeline: list[int] = [int(current.sum())]
+    for step in range(1, horizon + 1):
+        alive = remaining >= step
+        occupied = current[alive] + step
+        timeline.append(int(occupied.sum()))
+    return timeline

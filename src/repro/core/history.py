@@ -1,0 +1,91 @@
+"""Sliding-window history of finished request output lengths (the "Past").
+
+Section 3.2 of the paper observes that the output-length distribution of the
+most recent *w* finished requests (the "historical window", w = 1000 in the
+paper) predicts the distribution of the requests currently being served.  The
+:class:`OutputLengthHistory` keeps exactly that window and exposes it as an
+empirical distribution.
+
+Before any request has finished (service start-up), the paper initialises the
+distribution with the preset maximum output length; :meth:`snapshot` mirrors
+that by falling back to a configurable default length until real observations
+arrive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class OutputLengthHistory:
+    """Fixed-size sliding window over finished output lengths.
+
+    Args:
+        window_size: maximum number of recent observations retained
+            (the paper's *historical request window*, default 1000).
+        default_length: length used to seed the distribution before any
+            request has finished (the paper uses the preset
+            ``max_new_tokens``).
+    """
+
+    def __init__(self, window_size: int = 1000, default_length: int = 2048) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if default_length <= 0:
+            raise ValueError("default_length must be positive")
+        self._window_size = window_size
+        self._default_length = default_length
+        self._lengths: deque[int] = deque(maxlen=window_size)
+
+    @property
+    def window_size(self) -> int:
+        """Maximum number of retained observations."""
+        return self._window_size
+
+    @property
+    def default_length(self) -> int:
+        """Seed length used while the window is empty."""
+        return self._default_length
+
+    def __len__(self) -> int:
+        return len(self._lengths)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no request has finished yet."""
+        return not self._lengths
+
+    def record(self, output_length: int) -> None:
+        """Add one finished request's output length to the window."""
+        if output_length <= 0:
+            raise ValueError("output_length must be positive")
+        self._lengths.append(int(output_length))
+
+    def extend(self, output_lengths: list[int]) -> None:
+        """Add several finished output lengths at once."""
+        for length in output_lengths:
+            self.record(length)
+
+    def snapshot(self) -> np.ndarray:
+        """Current window as an integer array (the seed value if empty)."""
+        if self.is_empty:
+            return np.array([self._default_length], dtype=np.int64)
+        return np.fromiter(self._lengths, dtype=np.int64, count=len(self._lengths))
+
+    def clear(self) -> None:
+        """Drop all observations (used between simulation runs)."""
+        self._lengths.clear()
+
+    # ----------------------------------------------------------- statistics
+    def mean(self) -> float:
+        """Mean of the current window (or the seed value if empty)."""
+        return float(self.snapshot().mean())
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the current window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(self.snapshot(), q))

@@ -1,0 +1,147 @@
+"""Output-length distribution prediction (Section 3.2, Equation 1).
+
+The predictor turns the historical window into an empirical distribution
+``P(l)`` and provides the two sampling operations Algorithm 1 needs:
+
+* for **queued** requests, sample a predicted total output length from
+  ``P(l)``;
+* for **running** requests that have already generated ``l_cur`` tokens,
+  resample from the *conditional* distribution ``P(l | l > l_cur)`` so the
+  prediction can only stay ahead of what has actually been produced.
+
+When the running batch is small the paper repeats the sampling several times
+to stabilise the estimate; ``num_samples``/``aggregation`` expose that knob
+(aggregating with ``max`` keeps the estimate on the safe side, which is what
+admission control wants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+Aggregation = Literal["max", "mean", "median"]
+
+
+def _aggregate(samples: np.ndarray, how: Aggregation) -> np.ndarray:
+    """Collapse the sample axis (axis 0) of a (num_samples, n) array."""
+    if how == "max":
+        return samples.max(axis=0)
+    if how == "mean":
+        return np.ceil(samples.mean(axis=0))
+    if how == "median":
+        return np.ceil(np.median(samples, axis=0))
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+@dataclass
+class OutputLengthPredictor:
+    """Samples predicted output lengths from an empirical distribution.
+
+    Args:
+        lengths: the historical output lengths (the window snapshot).
+        seed: RNG seed for reproducible sampling.
+        num_samples: how many independent samples to draw per request before
+            aggregating.
+        aggregation: how to combine repeated samples.
+    """
+
+    lengths: np.ndarray
+    seed: int = 0
+    num_samples: int = 1
+    aggregation: Aggregation = "max"
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if lengths.ndim != 1 or lengths.size == 0:
+            raise ValueError("lengths must be a non-empty 1-D array")
+        if np.any(lengths <= 0):
+            raise ValueError("lengths must be positive")
+        if self.num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        # Sorted copy enables O(log n) conditional sampling via searchsorted.
+        object.__setattr__(self, "_sorted", np.sort(lengths))
+        object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
+
+    # ------------------------------------------------------------ distribution
+    @property
+    def support(self) -> np.ndarray:
+        """Distinct lengths present in the window, ascending."""
+        return np.unique(self._sorted)
+
+    @property
+    def max_length(self) -> int:
+        """Largest length observed in the window."""
+        return int(self._sorted[-1])
+
+    def probability(self, length: int) -> float:
+        """Empirical probability ``P(l == length)`` (Equation 1)."""
+        left = np.searchsorted(self._sorted, length, side="left")
+        right = np.searchsorted(self._sorted, length, side="right")
+        return float(right - left) / self._sorted.size
+
+    def exceedance(self, length: int) -> float:
+        """Empirical probability ``P(l > length)``."""
+        right = np.searchsorted(self._sorted, length, side="right")
+        return float(self._sorted.size - right) / self._sorted.size
+
+    # ---------------------------------------------------------------- sampling
+    def predict_new(self, count: int) -> np.ndarray:
+        """Sample predicted output lengths for ``count`` queued requests."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        samples = self._rng.choice(self._sorted, size=(self.num_samples, count), replace=True)
+        return _aggregate(samples, self.aggregation).astype(np.int64)
+
+    def predict_running(self, generated: np.ndarray | list[int]) -> np.ndarray:
+        """Resample predictions for running requests from ``P(l | l > generated)``.
+
+        For a request whose generated token count already exceeds every length
+        in the window, the prediction falls back to ``generated + 1`` — the
+        most optimistic consistent estimate (the request may stop at the very
+        next token), matching the scheduler's behaviour of trusting the
+        history only while it remains informative.
+        """
+        generated_arr = np.asarray(generated, dtype=np.int64)
+        if generated_arr.ndim != 1:
+            raise ValueError("generated must be 1-D")
+        if generated_arr.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if np.any(generated_arr < 0):
+            raise ValueError("generated token counts must be non-negative")
+        sorted_lengths = self._sorted
+        n = sorted_lengths.size
+        # Index of the first historical length strictly greater than each
+        # generated count; everything at or beyond it is a valid sample.
+        starts = np.searchsorted(sorted_lengths, generated_arr, side="right")
+        predictions = np.empty((self.num_samples, generated_arr.size), dtype=np.int64)
+        for sample_index in range(self.num_samples):
+            uniforms = self._rng.random(generated_arr.size)
+            # Draw a uniform index in [start, n); exhausted tails handled below.
+            spans = np.maximum(n - starts, 1)
+            indices = starts + np.floor(uniforms * spans).astype(np.int64)
+            indices = np.minimum(indices, n - 1)
+            drawn = sorted_lengths[indices]
+            exhausted = starts >= n
+            drawn = np.where(exhausted, generated_arr + 1, drawn)
+            predictions[sample_index] = drawn
+        return _aggregate(predictions, self.aggregation).astype(np.int64)
+
+
+def build_predictor(
+    lengths: np.ndarray,
+    seed: int = 0,
+    num_samples: int = 1,
+    aggregation: Aggregation = "max",
+) -> OutputLengthPredictor:
+    """Convenience constructor mirroring :class:`OutputLengthPredictor`."""
+    return OutputLengthPredictor(
+        lengths=np.asarray(lengths, dtype=np.int64),
+        seed=seed,
+        num_samples=num_samples,
+        aggregation=aggregation,
+    )

@@ -1,0 +1,340 @@
+"""Continuous-batching inference engine (discrete-event simulation).
+
+The engine executes the serving loop the paper describes in Sections 2.3–2.4:
+one *iteration* (decode step) at a time it
+
+1. asks the admission scheduler which waiting requests join the running batch,
+2. (chunked-)prefills newly admitted requests,
+3. decodes one token for every resident request, evicting requests when the
+   KV-cache pool cannot grow, and
+4. retires finished requests, feeding their true output lengths back to the
+   scheduler so history-based policies can learn the workload.
+
+The wall-clock duration of each iteration comes from the roofline
+:class:`~repro.engine.cost_model.CostModel`; the caller (usually
+:class:`repro.serving.server.ServingSimulator`) owns the clock and injects
+request arrivals between iterations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.future_memory import peak_future_memory_arrays
+from repro.engine.batch import RunningBatch
+from repro.engine.cost_model import CostModel, StepWork
+from repro.engine.eviction import EvictionPolicy, RecomputeNewestFirst
+from repro.engine.request import Request, RequestState
+from repro.hardware.platform import Platform
+from repro.memory.block_manager import BlockKVCachePool, OutOfMemoryError
+from repro.memory.pool_stats import MemoryTimeline
+from repro.schedulers.base import Scheduler, SchedulingContext
+
+
+@dataclass
+class StepResult:
+    """Outcome of one continuous-batching iteration."""
+
+    step: int
+    start_time: float
+    duration: float
+    admitted: list[Request] = field(default_factory=list)
+    finished: list[Request] = field(default_factory=list)
+    evicted: list[Request] = field(default_factory=list)
+    work: StepWork = field(default_factory=StepWork)
+    used_tokens: int = 0
+    future_required_tokens: int = 0
+
+    @property
+    def end_time(self) -> float:
+        """Wall-clock time at which the iteration completed."""
+        return self.start_time + self.duration
+
+    @property
+    def was_idle(self) -> bool:
+        """Whether the iteration performed no model work."""
+        return self.work.is_idle
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated over an engine's lifetime."""
+
+    decoding_steps: int = 0
+    idle_steps: int = 0
+    total_prefill_tokens: int = 0
+    total_decode_tokens: int = 0
+    total_evictions: int = 0
+    total_admissions: int = 0
+    total_finished: int = 0
+
+
+class InferenceEngine:
+    """Continuous-batching executor over a simulated KV-cache pool.
+
+    Args:
+        platform: deployment target; supplies the token capacity and feeds the
+            default cost model.
+        scheduler: admission-control policy.
+        cost_model: latency model; built from ``platform`` if omitted.
+        eviction_policy: what to do when the pool cannot grow (defaults to
+            vLLM-style recompute of the newest request).
+        block_size: KV-cache block size in tokens.
+        chunked_prefill_tokens: if set, at most this many prompt tokens are
+            processed per iteration (DeepSpeed-MII "splitfuse" style); ``None``
+            prefills each admitted request in a single iteration.
+        token_capacity_override: replaces the platform's KV token capacity,
+            used by scaled-down experiments and unit tests.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: Scheduler,
+        cost_model: CostModel | None = None,
+        eviction_policy: EvictionPolicy | None = None,
+        block_size: int = 1,
+        chunked_prefill_tokens: int | None = None,
+        token_capacity_override: int | None = None,
+    ) -> None:
+        self.platform = platform
+        self.scheduler = scheduler
+        self.cost_model = cost_model or CostModel(platform)
+        self.eviction_policy = eviction_policy or RecomputeNewestFirst()
+        if chunked_prefill_tokens is not None and chunked_prefill_tokens <= 0:
+            raise ValueError("chunked_prefill_tokens must be positive when set")
+        self.chunked_prefill_tokens = chunked_prefill_tokens
+        capacity = token_capacity_override if token_capacity_override is not None else platform.token_capacity
+        if capacity <= 0:
+            raise ValueError("token capacity must be positive")
+        self.token_capacity = capacity
+        self.pool = BlockKVCachePool(capacity, block_size=block_size)
+        self.waiting: deque[Request] = deque()
+        self.batch = RunningBatch()
+        self.stats = EngineStats()
+        self.memory_timeline = MemoryTimeline(token_capacity=self.pool.token_capacity)
+        self._step_counter = 0
+        self.scheduler.on_run_start()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_waiting(self) -> int:
+        """Requests currently queued for admission."""
+        return len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        """Requests currently resident in the KV cache."""
+        return len(self.batch)
+
+    def has_work(self) -> bool:
+        """Whether any request is queued or resident."""
+        return bool(self.waiting) or not self.batch.is_empty
+
+    def submit(self, request: Request) -> None:
+        """Add an arriving request to the waiting queue."""
+        if request.state is not RequestState.QUEUED:
+            raise ValueError("only queued requests can be submitted")
+        self.waiting.append(request)
+
+    # ------------------------------------------------------------- admission
+    def _scheduling_context(self, time: float) -> SchedulingContext:
+        return SchedulingContext(
+            time=time,
+            step=self._step_counter,
+            running=list(self.batch),
+            waiting=list(self.waiting),
+            token_capacity=self.pool.token_capacity,
+            used_tokens=self.pool.used_tokens,
+        )
+
+    def _admit(self, time: float) -> list[Request]:
+        if not self.waiting:
+            return []
+        decisions = self.scheduler.schedule(self._scheduling_context(time))
+        admitted: list[Request] = []
+        for request in decisions:
+            if not self.waiting or self.waiting[0] is not request:
+                # Schedulers must admit a prefix of the queue; anything else is
+                # a policy bug we surface immediately.
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} admitted {request.request_id} out of order"
+                )
+            needed = request.current_context_tokens
+            if not self.pool.can_allocate(needed):
+                break
+            self.waiting.popleft()
+            self.pool.allocate(request.request_id, needed)
+            request.admit(time)
+            if request.eviction_count > 0:
+                # Swap-style eviction policies make re-admission cheaper than a
+                # full recompute; credit the difference so the remaining
+                # prefill work equals the policy's re-admission cost.
+                credit = request.recompute_tokens - self._prefill_cost_tokens(request)
+                if credit > 0:
+                    request.note_prefill(credit)
+            admitted.append(request)
+            self.batch.add(request)
+        self.stats.total_admissions += len(admitted)
+        return admitted
+
+    # ---------------------------------------------------------------- prefill
+    def _prefill_cost_tokens(self, request: Request) -> int:
+        """Prompt-equivalent tokens to process for this residency."""
+        if request.eviction_count > 0:
+            return self.eviction_policy.recompute_cost_tokens(request)
+        return request.recompute_tokens
+
+    def _plan_prefill(self) -> tuple[int, list[Request]]:
+        """Assign prefill work for this iteration.
+
+        Returns the number of prompt tokens processed and the requests whose
+        prefill completed (and therefore deliver their first token this step).
+        """
+        prefilling = self.batch.prefilling
+        if not prefilling:
+            return 0, []
+        budget = self.chunked_prefill_tokens
+        processed = 0
+        completed: list[Request] = []
+        for request in prefilling:
+            remaining = request.prefill_remaining
+            if remaining == 0:
+                request.note_prefill(0)
+                completed.append(request)
+                continue
+            if budget is None:
+                share = remaining
+            else:
+                share = min(remaining, budget - processed)
+                if share <= 0:
+                    break
+            request.note_prefill(share)
+            processed += share
+            if request.prefill_remaining == 0:
+                completed.append(request)
+        return processed, completed
+
+    # ----------------------------------------------------------------- decode
+    def _make_room(self, protect: Request, time: float, evicted: list[Request]) -> bool:
+        """Evict requests until one block frees up.
+
+        Returns ``False`` if the protected request itself had to be evicted
+        (its token cannot be produced this step).
+        """
+        while True:
+            victim = self.eviction_policy.select_victim(self.batch, protect=protect)
+            if victim is None:
+                return False
+            self._evict(victim, time)
+            evicted.append(victim)
+            if victim is protect:
+                return False
+            if self.pool.free_blocks > 0:
+                return True
+
+    def _evict(self, request: Request, time: float) -> None:
+        self.pool.free(request.request_id)
+        self.batch.remove(request)
+        request.evict()
+        self.waiting.appendleft(request)
+        self.stats.total_evictions += 1
+        self.scheduler.on_request_evicted(request, time)
+
+    def _deliver_one_token(
+        self,
+        request: Request,
+        end_time: float,
+        evicted: list[Request],
+        finished: list[Request],
+    ) -> bool:
+        """Grow the request by one token and stream it to the client."""
+        try:
+            self.pool.append_token(request.request_id)
+        except OutOfMemoryError:
+            if not self._make_room(request, end_time, evicted):
+                return False
+            self.pool.append_token(request.request_id)
+        request.deliver_token(end_time)
+        self.stats.total_decode_tokens += 1
+        if request.should_stop:
+            request.finish(end_time)
+            self.pool.free(request.request_id)
+            self.batch.remove(request)
+            finished.append(request)
+            self.stats.total_finished += 1
+            self.scheduler.on_request_finished(request, end_time)
+        return True
+
+    # ------------------------------------------------------------------- step
+    def step(self, time: float) -> StepResult:
+        """Run one continuous-batching iteration starting at ``time``."""
+        self._step_counter += 1
+        admitted = self._admit(time)
+        decode_targets = [r for r in self.batch if r.state is RequestState.DECODING]
+        prefill_tokens, completed_prefill = self._plan_prefill()
+        images = sum(1 for r in admitted if r.spec.image_tokens > 0)
+        work = StepWork(
+            prefill_tokens=prefill_tokens,
+            decode_requests=len(decode_targets),
+            decode_context_tokens=sum(r.current_context_tokens for r in decode_targets),
+            images_encoded=images,
+        )
+        duration = self.cost_model.step_seconds(work)
+        end_time = time + duration
+
+        evicted: list[Request] = []
+        finished: list[Request] = []
+        for request in decode_targets:
+            if request.is_running:
+                self._deliver_one_token(request, end_time, evicted, finished)
+        for request in completed_prefill:
+            if request.is_running:
+                self._deliver_one_token(request, end_time, evicted, finished)
+
+        self.stats.total_prefill_tokens += prefill_tokens
+        if work.is_idle:
+            self.stats.idle_steps += 1
+        else:
+            self.stats.decoding_steps += 1
+
+        used = self.pool.used_tokens
+        future_required = self._true_future_required()
+        self.memory_timeline.record(
+            step=self._step_counter,
+            time=end_time,
+            used_tokens=used,
+            future_required_tokens=future_required,
+            running_requests=len(self.batch),
+            queued_requests=len(self.waiting),
+        )
+        return StepResult(
+            step=self._step_counter,
+            start_time=time,
+            duration=duration,
+            admitted=admitted,
+            finished=finished,
+            evicted=evicted,
+            work=work,
+            used_tokens=used,
+            future_required_tokens=future_required,
+        )
+
+    def _true_future_required(self) -> int:
+        """Oracle peak future memory of the current batch (metric only).
+
+        Uses the hidden true output lengths, so it measures how much memory
+        the admitted batch *will actually* need — the "Future Required Memory"
+        column of Table 1.  The schedulers never see this value.
+        """
+        if self.batch.is_empty:
+            return 0
+        current = np.array([r.current_context_tokens for r in self.batch], dtype=np.int64)
+        remaining = np.array(
+            [min(r.remaining_true_tokens, r.remaining_cap_tokens) for r in self.batch],
+            dtype=np.int64,
+        )
+        return peak_future_memory_arrays(current, remaining)

@@ -1,0 +1,187 @@
+"""Engine-side request lifecycle.
+
+A :class:`Request` wraps a :class:`~repro.workloads.spec.RequestSpec` with the
+mutable state the engine and schedulers track: how many tokens have been
+generated, when each token was delivered to the client (for TTFT/TPOT/MTPOT),
+how often the request has been evicted, and which lifecycle state it is in.
+
+Lifecycle::
+
+    QUEUED --admit--> PREFILLING --prompt done--> DECODING --EOS/cap--> FINISHED
+       ^                                      |
+       +---------------- evict ---------------+
+
+An evicted request loses its KV cache and returns to the waiting queue; on
+re-admission its prompt *and* previously generated tokens must be recomputed
+(the paper's "request re-queuing and recomputation"), but the tokens that were
+already streamed to the client are not re-delivered — the client simply
+observes a long inter-token gap, which is what breaks the MTPOT SLA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workloads.spec import RequestSpec
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states of a request inside the serving system."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """Mutable serving-time state of one request."""
+
+    spec: RequestSpec
+    arrival_time: float
+    state: RequestState = RequestState.QUEUED
+    #: number of output tokens generated so far (across evictions).
+    generated_tokens: int = 0
+    #: prompt tokens whose KV has been computed in the current residency;
+    #: relevant for chunked prefill and after eviction (recomputation).
+    prefilled_tokens: int = 0
+    #: wall-clock times at which each output token reached the client.
+    token_times: list[float] = field(default_factory=list)
+    #: times at which the request was admitted into the running batch.
+    admission_times: list[float] = field(default_factory=list)
+    #: number of times the request was evicted from the running batch.
+    eviction_count: int = 0
+    finish_time: float | None = None
+
+    # ------------------------------------------------------------ identities
+    @property
+    def request_id(self) -> str:
+        """Stable identifier (the spec's id)."""
+        return self.spec.request_id
+
+    # ------------------------------------------------------------ token math
+    @property
+    def prompt_tokens(self) -> int:
+        """Prompt tokens including any image prefix."""
+        return self.spec.prompt_tokens
+
+    @property
+    def recompute_tokens(self) -> int:
+        """Tokens that must be (re)computed at admission: prompt plus any
+        previously generated tokens lost to an eviction."""
+        return self.prompt_tokens + self.generated_tokens
+
+    @property
+    def current_context_tokens(self) -> int:
+        """KV tokens the request holds once resident: prompt + generated."""
+        return self.prompt_tokens + self.generated_tokens
+
+    @property
+    def remaining_true_tokens(self) -> int:
+        """Tokens still to be generated according to the hidden true length."""
+        return max(self.spec.output_length - self.generated_tokens, 0)
+
+    @property
+    def remaining_cap_tokens(self) -> int:
+        """Tokens still allowed by ``max_new_tokens``."""
+        return max(self.spec.max_new_tokens - self.generated_tokens, 0)
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the request has completed generation."""
+        return self.state is RequestState.FINISHED
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the request currently occupies the running batch."""
+        return self.state in (RequestState.PREFILLING, RequestState.DECODING)
+
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt/recompute tokens not yet processed in this residency."""
+        return max(self.recompute_tokens - self.prefilled_tokens, 0)
+
+    # ------------------------------------------------------------ transitions
+    def admit(self, time: float) -> None:
+        """Move the request from the queue into the running batch."""
+        if self.state is not RequestState.QUEUED:
+            raise ValueError(f"cannot admit request in state {self.state}")
+        self.state = RequestState.PREFILLING
+        self.prefilled_tokens = 0
+        self.admission_times.append(time)
+
+    def note_prefill(self, tokens: int) -> None:
+        """Record ``tokens`` prompt tokens processed by (chunked) prefill."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        self.prefilled_tokens = min(self.prefilled_tokens + tokens, self.recompute_tokens)
+        if self.prefill_remaining == 0 and self.state is RequestState.PREFILLING:
+            self.state = RequestState.DECODING
+
+    def deliver_token(self, time: float) -> None:
+        """Record one generated token delivered to the client at ``time``."""
+        if not self.is_running:
+            raise ValueError(f"cannot deliver token in state {self.state}")
+        self.generated_tokens += 1
+        self.token_times.append(time)
+
+    def evict(self) -> None:
+        """Remove the request from the running batch, losing its KV cache."""
+        if not self.is_running:
+            raise ValueError(f"cannot evict request in state {self.state}")
+        self.state = RequestState.QUEUED
+        self.prefilled_tokens = 0
+        self.eviction_count += 1
+
+    def finish(self, time: float) -> None:
+        """Mark the request complete."""
+        if not self.is_running:
+            raise ValueError(f"cannot finish request in state {self.state}")
+        self.state = RequestState.FINISHED
+        self.finish_time = time
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether generation must stop (EOS reached or cap exhausted)."""
+        return (
+            self.generated_tokens >= self.spec.output_length
+            or self.generated_tokens >= self.spec.max_new_tokens
+        )
+
+    # ------------------------------------------------------------ SLA metrics
+    @property
+    def first_token_time(self) -> float | None:
+        """Wall-clock time of the first delivered token, if any."""
+        return self.token_times[0] if self.token_times else None
+
+    @property
+    def ttft(self) -> float | None:
+        """Time To First Token (seconds), if the first token was delivered."""
+        first = self.first_token_time
+        return None if first is None else first - self.arrival_time
+
+    @property
+    def tpots(self) -> list[float]:
+        """Per-token inter-arrival gaps after the first token."""
+        times = self.token_times
+        return [later - earlier for earlier, later in zip(times, times[1:])]
+
+    @property
+    def max_tpot(self) -> float | None:
+        """Maximum inter-token gap (MTPOT), if at least two tokens arrived."""
+        gaps = self.tpots
+        return max(gaps) if gaps else None
+
+    @property
+    def mean_tpot(self) -> float | None:
+        """Mean inter-token gap, if at least two tokens arrived."""
+        gaps = self.tpots
+        return sum(gaps) / len(gaps) if gaps else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request({self.request_id}, state={self.state.value}, "
+            f"gen={self.generated_tokens}/{self.spec.output_length})"
+        )

@@ -1,0 +1,21 @@
+"""KV-cache memory substrate: paged pool, contiguous baseline, accounting."""
+
+from repro.memory.block_manager import (
+    AllocationError,
+    BlockKVCachePool,
+    BlockTable,
+    OutOfMemoryError,
+)
+from repro.memory.contiguous import ContiguousKVCachePool, Extent
+from repro.memory.pool_stats import MemorySample, MemoryTimeline
+
+__all__ = [
+    "AllocationError",
+    "BlockKVCachePool",
+    "BlockTable",
+    "OutOfMemoryError",
+    "ContiguousKVCachePool",
+    "Extent",
+    "MemorySample",
+    "MemoryTimeline",
+]

@@ -1,0 +1,230 @@
+"""Paged (block) KV-cache pool, in the spirit of vLLM's PagedAttention manager.
+
+The pool owns a fixed number of fixed-size blocks.  Each running request holds
+an ordered block table; the last block may be partially filled.  The engine
+asks the pool to
+
+* allocate the prompt KV of a request at prefill time (``allocate``),
+* grow a request by one token per decode step (``append_token``), and
+* release everything a request holds when it finishes or is evicted
+  (``free``).
+
+The block abstraction matters for the reproduction because the *aggressive*
+scheduler reasons in terms of free blocks/watermarks (as vLLM does) while the
+Past-Future scheduler reasons in terms of token counts; both views are exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation does not fit in the pool."""
+
+
+class AllocationError(ValueError):
+    """Raised on invalid allocation requests (double alloc, unknown request...)."""
+
+
+@dataclass
+class BlockTable:
+    """Block table of one request: ordered block ids plus token occupancy."""
+
+    request_id: str
+    block_ids: list[int] = field(default_factory=list)
+    num_tokens: int = 0
+
+
+class BlockKVCachePool:
+    """Fixed-capacity paged KV-cache pool.
+
+    Args:
+        token_capacity: total number of token slots the pool can hold.
+        block_size: tokens per block.  The effective capacity in blocks is
+            ``token_capacity // block_size``; a ``token_capacity`` that is not
+            a multiple of ``block_size`` is rounded down.
+    """
+
+    def __init__(self, token_capacity: int, block_size: int = 1) -> None:
+        if token_capacity <= 0:
+            raise ValueError("token_capacity must be positive")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._block_size = block_size
+        self._num_blocks = token_capacity // block_size
+        if self._num_blocks == 0:
+            raise ValueError("token_capacity smaller than one block")
+        self._free_blocks: list[int] = list(range(self._num_blocks - 1, -1, -1))
+        self._tables: dict[str, BlockTable] = {}
+        self._peak_tokens_used = 0
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def block_size(self) -> int:
+        """Tokens per block."""
+        return self._block_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks in the pool."""
+        return self._num_blocks
+
+    @property
+    def token_capacity(self) -> int:
+        """Total token slots (``num_blocks * block_size``)."""
+        return self._num_blocks * self._block_size
+
+    @property
+    def free_blocks(self) -> int:
+        """Number of currently unallocated blocks."""
+        return len(self._free_blocks)
+
+    @property
+    def used_blocks(self) -> int:
+        """Number of currently allocated blocks."""
+        return self._num_blocks - len(self._free_blocks)
+
+    @property
+    def used_tokens(self) -> int:
+        """Total tokens currently stored across all requests."""
+        return sum(t.num_tokens for t in self._tables.values())
+
+    @property
+    def free_tokens(self) -> int:
+        """Token slots still available, counting partially filled blocks."""
+        partial_slack = sum(
+            self._slack(table) for table in self._tables.values()
+        )
+        return len(self._free_blocks) * self._block_size + partial_slack
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of token capacity currently in use."""
+        return self.used_tokens / self.token_capacity
+
+    @property
+    def peak_tokens_used(self) -> int:
+        """High-water mark of :attr:`used_tokens` over the pool's lifetime."""
+        return self._peak_tokens_used
+
+    def _slack(self, table: BlockTable) -> int:
+        """Unused token slots in the request's last (partial) block."""
+        allocated = len(table.block_ids) * self._block_size
+        return allocated - table.num_tokens
+
+    # ------------------------------------------------------------- allocation
+    def holds(self, request_id: str) -> bool:
+        """Whether the request currently owns any blocks."""
+        return request_id in self._tables
+
+    def tokens_of(self, request_id: str) -> int:
+        """Tokens stored for a request (0 if it holds nothing)."""
+        table = self._tables.get(request_id)
+        return table.num_tokens if table else 0
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        """Blocks needed to store ``num_tokens`` fresh tokens."""
+        return -(-num_tokens // self._block_size)
+
+    def can_allocate(self, num_tokens: int) -> bool:
+        """Whether a fresh allocation of ``num_tokens`` would succeed."""
+        return self.blocks_needed(num_tokens) <= len(self._free_blocks)
+
+    def allocate(self, request_id: str, num_tokens: int) -> BlockTable:
+        """Allocate the initial (prompt) KV of a request.
+
+        Raises:
+            AllocationError: if the request already holds blocks or
+                ``num_tokens`` is not positive.
+            OutOfMemoryError: if the pool does not have enough free blocks.
+        """
+        if num_tokens <= 0:
+            raise AllocationError("num_tokens must be positive")
+        if request_id in self._tables:
+            raise AllocationError(f"request {request_id!r} already allocated")
+        needed = self.blocks_needed(num_tokens)
+        if needed > len(self._free_blocks):
+            raise OutOfMemoryError(
+                f"need {needed} blocks for {num_tokens} tokens, "
+                f"only {len(self._free_blocks)} free"
+            )
+        block_ids = [self._free_blocks.pop() for _ in range(needed)]
+        table = BlockTable(request_id=request_id, block_ids=block_ids, num_tokens=num_tokens)
+        self._tables[request_id] = table
+        self._note_usage()
+        return table
+
+    def can_append_token(self, request_id: str) -> bool:
+        """Whether the request can grow by one token without a new block, or
+        a free block exists for it."""
+        table = self._tables.get(request_id)
+        if table is None:
+            return False
+        if self._slack(table) > 0:
+            return True
+        return len(self._free_blocks) > 0
+
+    def append_token(self, request_id: str) -> None:
+        """Grow a request by one generated token.
+
+        Raises:
+            AllocationError: if the request holds no blocks.
+            OutOfMemoryError: if a new block is required but none is free.
+        """
+        table = self._tables.get(request_id)
+        if table is None:
+            raise AllocationError(f"request {request_id!r} has no allocation")
+        if self._slack(table) == 0:
+            if not self._free_blocks:
+                raise OutOfMemoryError(
+                    f"no free block to extend request {request_id!r}"
+                )
+            table.block_ids.append(self._free_blocks.pop())
+        table.num_tokens += 1
+        self._note_usage()
+
+    def free(self, request_id: str) -> int:
+        """Release all blocks of a request, returning the number released.
+
+        Freeing a request that holds nothing is a no-op returning 0, so the
+        engine can call it unconditionally on finish/evict paths.
+        """
+        table = self._tables.pop(request_id, None)
+        if table is None:
+            return 0
+        self._free_blocks.extend(reversed(table.block_ids))
+        return len(table.block_ids)
+
+    def reset(self) -> None:
+        """Release every allocation and clear the high-water mark."""
+        self._tables.clear()
+        self._free_blocks = list(range(self._num_blocks - 1, -1, -1))
+        self._peak_tokens_used = 0
+
+    def _note_usage(self) -> None:
+        used = self.used_tokens
+        if used > self._peak_tokens_used:
+            self._peak_tokens_used = used
+
+    # ------------------------------------------------------------- inspection
+    def block_table(self, request_id: str) -> BlockTable:
+        """Return the block table of a request.
+
+        Raises:
+            AllocationError: if the request holds nothing.
+        """
+        table = self._tables.get(request_id)
+        if table is None:
+            raise AllocationError(f"request {request_id!r} has no allocation")
+        return table
+
+    def owners(self) -> list[str]:
+        """Request ids that currently hold blocks."""
+        return list(self._tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockKVCachePool(blocks={self.used_blocks}/{self._num_blocks}, "
+            f"tokens={self.used_tokens}/{self.token_capacity})"
+        )

@@ -1,0 +1,148 @@
+"""Contiguous KV-cache allocator (FasterTransformer / ORCA style baseline).
+
+Before PagedAttention, serving frameworks reserved one *contiguous* region per
+request, sized for the worst case (prompt + ``max_new_tokens``).  That design
+suffers from external fragmentation: the pool can hold enough free tokens in
+total yet fail an allocation because no single free extent is large enough.
+
+This allocator exists as a substrate baseline so that tests and ablation
+benches can quantify the fragmentation the paged pool removes.  It implements
+first-fit allocation over a single address space of token slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.block_manager import AllocationError, OutOfMemoryError
+
+
+@dataclass
+class Extent:
+    """A contiguous run of token slots owned by one request."""
+
+    request_id: str
+    start: int
+    length: int
+    used_tokens: int
+
+    @property
+    def end(self) -> int:
+        """One past the last slot of the extent."""
+        return self.start + self.length
+
+
+class ContiguousKVCachePool:
+    """First-fit contiguous allocator over ``token_capacity`` slots."""
+
+    def __init__(self, token_capacity: int) -> None:
+        if token_capacity <= 0:
+            raise ValueError("token_capacity must be positive")
+        self._capacity = token_capacity
+        self._extents: dict[str, Extent] = {}
+
+    @property
+    def token_capacity(self) -> int:
+        """Total token slots in the pool."""
+        return self._capacity
+
+    @property
+    def reserved_tokens(self) -> int:
+        """Slots reserved by live extents (regardless of how many are used)."""
+        return sum(e.length for e in self._extents.values())
+
+    @property
+    def used_tokens(self) -> int:
+        """Tokens actually written into reserved extents."""
+        return sum(e.used_tokens for e in self._extents.values())
+
+    @property
+    def free_tokens(self) -> int:
+        """Slots not reserved by any extent."""
+        return self._capacity - self.reserved_tokens
+
+    def _sorted_extents(self) -> list[Extent]:
+        return sorted(self._extents.values(), key=lambda e: e.start)
+
+    def _gaps(self) -> list[tuple[int, int]]:
+        """Free gaps as (start, length) pairs, in address order."""
+        gaps: list[tuple[int, int]] = []
+        cursor = 0
+        for extent in self._sorted_extents():
+            if extent.start > cursor:
+                gaps.append((cursor, extent.start - cursor))
+            cursor = max(cursor, extent.end)
+        if cursor < self._capacity:
+            gaps.append((cursor, self._capacity - cursor))
+        return gaps
+
+    @property
+    def largest_free_extent(self) -> int:
+        """Length of the largest free gap."""
+        gaps = self._gaps()
+        return max((length for _, length in gaps), default=0)
+
+    @property
+    def external_fragmentation(self) -> float:
+        """1 - (largest free gap / total free slots); 0 when unfragmented."""
+        free = self.free_tokens
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent / free
+
+    def can_reserve(self, num_tokens: int) -> bool:
+        """Whether a contiguous reservation of ``num_tokens`` slots would fit."""
+        return self.largest_free_extent >= num_tokens
+
+    def reserve(self, request_id: str, num_tokens: int, used_tokens: int = 0) -> Extent:
+        """Reserve a contiguous run of ``num_tokens`` slots (first fit).
+
+        Args:
+            request_id: owner of the extent.
+            num_tokens: size of the reservation (typically prompt +
+                ``max_new_tokens``).
+            used_tokens: tokens already occupied (typically the prompt length).
+
+        Raises:
+            AllocationError: on duplicate owners or invalid sizes.
+            OutOfMemoryError: if no gap is large enough (possibly due to
+                fragmentation even when total free space would suffice).
+        """
+        if num_tokens <= 0:
+            raise AllocationError("num_tokens must be positive")
+        if used_tokens < 0 or used_tokens > num_tokens:
+            raise AllocationError("used_tokens must be within the reservation")
+        if request_id in self._extents:
+            raise AllocationError(f"request {request_id!r} already reserved")
+        for start, length in self._gaps():
+            if length >= num_tokens:
+                extent = Extent(request_id, start, num_tokens, used_tokens)
+                self._extents[request_id] = extent
+                return extent
+        raise OutOfMemoryError(
+            f"no contiguous gap of {num_tokens} slots "
+            f"(free={self.free_tokens}, largest={self.largest_free_extent})"
+        )
+
+    def append_token(self, request_id: str) -> None:
+        """Consume one more slot of an existing reservation.
+
+        Raises:
+            AllocationError: if the request has no extent.
+            OutOfMemoryError: if the reservation is exhausted.
+        """
+        extent = self._extents.get(request_id)
+        if extent is None:
+            raise AllocationError(f"request {request_id!r} has no reservation")
+        if extent.used_tokens >= extent.length:
+            raise OutOfMemoryError(f"reservation of {request_id!r} exhausted")
+        extent.used_tokens += 1
+
+    def free(self, request_id: str) -> int:
+        """Release a reservation, returning the number of slots released."""
+        extent = self._extents.pop(request_id, None)
+        return extent.length if extent else 0
+
+    def owners(self) -> list[str]:
+        """Request ids holding reservations."""
+        return list(self._extents)

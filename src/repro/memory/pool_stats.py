@@ -1,0 +1,104 @@
+"""Time-series accounting of KV-cache pool occupancy.
+
+The ablation study of the paper (Table 1, Figure 1) reports two memory
+quantities sampled over the run:
+
+* **current consumed memory** — the fraction of the pool actually occupied at
+  each decode step, and
+* **future required memory** — the peak memory the *currently admitted* batch
+  will need before it finishes (this can exceed 100% for aggressive admission).
+
+:class:`MemoryTimeline` collects per-step samples of both and produces the
+averages reported in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass
+class MemorySample:
+    """One decode-step observation of pool state."""
+
+    step: int
+    time: float
+    used_tokens: int
+    future_required_tokens: int
+    running_requests: int
+    queued_requests: int
+
+
+@dataclass
+class MemoryTimeline:
+    """Accumulates per-step memory samples and summarises them."""
+
+    token_capacity: int
+    samples: list[MemorySample] = field(default_factory=list)
+
+    def record(
+        self,
+        step: int,
+        time: float,
+        used_tokens: int,
+        future_required_tokens: int,
+        running_requests: int,
+        queued_requests: int,
+    ) -> None:
+        """Append one observation."""
+        self.samples.append(
+            MemorySample(
+                step=step,
+                time=time,
+                used_tokens=used_tokens,
+                future_required_tokens=future_required_tokens,
+                running_requests=running_requests,
+                queued_requests=queued_requests,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def average_consumed_fraction(self) -> float:
+        """Mean of used_tokens / capacity over steps with a non-empty batch."""
+        active = [s for s in self.samples if s.running_requests > 0]
+        if not active:
+            return 0.0
+        return mean(s.used_tokens / self.token_capacity for s in active)
+
+    @property
+    def average_future_required_fraction(self) -> float:
+        """Mean of future_required_tokens / capacity over active steps."""
+        active = [s for s in self.samples if s.running_requests > 0]
+        if not active:
+            return 0.0
+        return mean(s.future_required_tokens / self.token_capacity for s in active)
+
+    @property
+    def peak_consumed_fraction(self) -> float:
+        """Maximum observed used_tokens / capacity."""
+        if not self.samples:
+            return 0.0
+        return max(s.used_tokens for s in self.samples) / self.token_capacity
+
+    @property
+    def peak_future_required_fraction(self) -> float:
+        """Maximum observed future_required_tokens / capacity."""
+        if not self.samples:
+            return 0.0
+        return max(s.future_required_tokens for s in self.samples) / self.token_capacity
+
+    @property
+    def average_batch_size(self) -> float:
+        """Mean running-batch size over active steps."""
+        active = [s for s in self.samples if s.running_requests > 0]
+        if not active:
+            return 0.0
+        return mean(s.running_requests for s in active)
+
+    def oversubscribed_steps(self) -> int:
+        """Number of steps whose future requirement exceeded the capacity."""
+        return sum(1 for s in self.samples if s.future_required_tokens > self.token_capacity)

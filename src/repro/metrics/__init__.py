@@ -1,0 +1,52 @@
+"""Metrics: latency, throughput/goodput, memory accounting, trace similarity."""
+
+from repro.metrics.goodput import (
+    ThroughputSummary,
+    evicted_request_fraction,
+    eviction_rate,
+    summarize_throughput,
+)
+from repro.metrics.latency import (
+    LatencySummary,
+    finished_requests,
+    mean_tpots,
+    mtpots,
+    percentile,
+    summarize_latency,
+    ttfts,
+)
+from repro.metrics.memory_stats import MemoryReport, build_memory_report
+from repro.metrics.similarity import (
+    AdjacentWindowSimilarity,
+    SimilarityMatrix,
+    adjacent_window_similarity,
+    cosine_similarity,
+    default_bin_edges,
+    length_histogram,
+    partition_windows,
+    window_similarity_matrix,
+)
+
+__all__ = [
+    "ThroughputSummary",
+    "evicted_request_fraction",
+    "eviction_rate",
+    "summarize_throughput",
+    "LatencySummary",
+    "finished_requests",
+    "mean_tpots",
+    "mtpots",
+    "percentile",
+    "summarize_latency",
+    "ttfts",
+    "MemoryReport",
+    "build_memory_report",
+    "AdjacentWindowSimilarity",
+    "SimilarityMatrix",
+    "adjacent_window_similarity",
+    "cosine_similarity",
+    "default_bin_edges",
+    "length_histogram",
+    "partition_windows",
+    "window_similarity_matrix",
+]

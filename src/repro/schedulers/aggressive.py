@@ -1,0 +1,58 @@
+"""Aggressive scheduler (vLLM style).
+
+The aggressive scheduler ignores how much memory the *outputs* of requests
+will eventually need: a candidate is admitted as soon as its prompt fits into
+the currently free memory, up to a configurable *watermark* fraction of the
+capacity kept free as headroom for near-term decode growth.
+
+Under light load this behaves perfectly, but under heavy decode-heavy load the
+running batch keeps growing after admission, the pool overflows, and requests
+must be evicted and recomputed — exactly the failure mode the Past-Future
+scheduler is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.engine.request import Request
+from repro.schedulers.base import Scheduler, SchedulingContext
+
+
+class AggressiveScheduler(Scheduler):
+    """Admit while current occupancy plus prompts stays under the watermark.
+
+    Args:
+        watermark: fraction of the capacity the scheduler is willing to fill
+            with *current* tokens at admission time (the paper evaluates 90%,
+            95% and 99%).
+        max_running_requests: optional hard cap on the running batch size.
+    """
+
+    name = "aggressive"
+
+    def __init__(self, watermark: float = 0.99, max_running_requests: int | None = None) -> None:
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError("watermark must be in (0, 1]")
+        self.watermark = watermark
+        self.max_running_requests = max_running_requests
+
+    def schedule(self, context: SchedulingContext) -> list[Request]:
+        if not context.waiting:
+            return []
+        budget = int(context.token_capacity * self.watermark)
+        occupied = context.running_context_tokens
+        admitted: list[Request] = []
+        for candidate in context.waiting:
+            candidate_cost = candidate.current_context_tokens
+            if occupied + candidate_cost <= budget:
+                admitted.append(candidate)
+                occupied += candidate_cost
+            else:
+                break
+        if not admitted and not context.running and context.waiting:
+            head = context.waiting[0]
+            if head.current_context_tokens + 1 <= context.token_capacity:
+                admitted.append(head)
+        return self._respect_batch_cap(context, admitted)
+
+    def describe(self) -> str:
+        return f"aggressive (watermark={self.watermark:.0%})"

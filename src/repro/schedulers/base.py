@@ -1,0 +1,92 @@
+"""Scheduler interface shared by the Past-Future scheduler and the baselines.
+
+Every scheduler answers one question per continuous-batching iteration: *which
+waiting requests should join the running batch right now?*  The engine hands
+it a :class:`SchedulingContext` snapshot and expects back an ordered list of
+requests to admit (always a prefix-respecting subset of the waiting queue —
+schedulers here are FCFS over admission order, they only decide *when*, not
+*who first*, matching the paper).
+
+Schedulers also receive lifecycle callbacks so that history-based policies
+(the Past-Future scheduler) can observe finished output lengths.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.engine.request import Request
+
+
+@dataclass
+class SchedulingContext:
+    """Snapshot of the serving system handed to a scheduler each iteration."""
+
+    #: current simulation time in seconds.
+    time: float
+    #: continuous-batching iteration counter.
+    step: int
+    #: requests currently resident in the KV cache, admission order.
+    running: list[Request]
+    #: requests waiting for admission, in queue order (evicted requests are
+    #: re-queued at the front by the engine).
+    waiting: list[Request]
+    #: total KV-cache token slots of the platform.
+    token_capacity: int
+    #: token slots currently occupied.
+    used_tokens: int
+
+    @property
+    def free_tokens(self) -> int:
+        """Token slots not currently occupied."""
+        return self.token_capacity - self.used_tokens
+
+    @property
+    def running_context_tokens(self) -> int:
+        """KV tokens held by the running batch (prompt + generated)."""
+        return sum(r.current_context_tokens for r in self.running)
+
+
+class Scheduler(abc.ABC):
+    """Admission-control policy for continuous batching."""
+
+    #: human-readable policy name used in tables and figures.
+    name: str = "abstract"
+
+    #: hard cap on concurrently running requests (``None`` = unlimited).  Real
+    #: frameworks bound the batch size; the paper's experiments never hit it.
+    max_running_requests: int | None = None
+
+    @abc.abstractmethod
+    def schedule(self, context: SchedulingContext) -> list[Request]:
+        """Return the waiting requests to admit this iteration, in order.
+
+        Implementations must return requests drawn from ``context.waiting``
+        preserving their relative order, and must not mutate the context.
+        """
+
+    # ------------------------------------------------------------- lifecycle
+    def on_request_finished(self, request: Request, time: float) -> None:
+        """Called by the engine when a request completes generation."""
+
+    def on_request_evicted(self, request: Request, time: float) -> None:
+        """Called by the engine when a request is evicted from the batch."""
+
+    def on_run_start(self) -> None:
+        """Called once before a simulation run begins (reset mutable state)."""
+
+    # -------------------------------------------------------------- utilities
+    def _respect_batch_cap(self, context: SchedulingContext, admitted: list[Request]) -> list[Request]:
+        """Trim an admission list so the running batch stays under the cap."""
+        if self.max_running_requests is None:
+            return admitted
+        slots = self.max_running_requests - len(context.running)
+        return admitted[: max(slots, 0)]
+
+    def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"

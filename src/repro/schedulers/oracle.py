@@ -1,0 +1,62 @@
+"""Theoretical-optimum scheduler (oracle).
+
+Table 1 of the paper includes a "theoretical optimum" row: the best any
+admission policy could do if the true output length of every request were
+known in advance.  This scheduler implements that oracle — it runs the same
+future-required-memory admission test as the Past-Future scheduler, but feeds
+it the *true* remaining output lengths instead of sampled predictions and
+reserves no headroom.
+
+It is impossible in a real deployment (output lengths are unknown) but it
+upper-bounds memory utilisation and lower-bounds decoding steps, which the
+ablation benches compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.future_memory import peak_future_memory_arrays
+from repro.engine.request import Request
+from repro.schedulers.base import Scheduler, SchedulingContext
+
+
+class OracleScheduler(Scheduler):
+    """Future-memory admission using the hidden true output lengths."""
+
+    name = "oracle"
+
+    def __init__(self, max_running_requests: int | None = None) -> None:
+        self.max_running_requests = max_running_requests
+
+    @staticmethod
+    def _entry(request: Request) -> tuple[int, int]:
+        """(current_tokens, true_remaining) for one request."""
+        return request.current_context_tokens, max(request.remaining_true_tokens, 0)
+
+    def schedule(self, context: SchedulingContext) -> list[Request]:
+        if not context.waiting:
+            return []
+        entries = [self._entry(r) for r in context.running]
+        current_list = [c for c, _ in entries]
+        remaining_list = [r for _, r in entries]
+        admitted: list[Request] = []
+        for candidate in context.waiting:
+            cand_current, cand_remaining = self._entry(candidate)
+            trial_current = np.array(current_list + [cand_current], dtype=np.int64)
+            trial_remaining = np.array(remaining_list + [cand_remaining], dtype=np.int64)
+            peak = peak_future_memory_arrays(trial_current, trial_remaining)
+            if peak <= context.token_capacity:
+                admitted.append(candidate)
+                current_list.append(cand_current)
+                remaining_list.append(cand_remaining)
+            else:
+                break
+        if not admitted and not context.running and context.waiting:
+            head = context.waiting[0]
+            if head.current_context_tokens + 1 <= context.token_capacity:
+                admitted.append(head)
+        return self._respect_batch_cap(context, admitted)
+
+    def describe(self) -> str:
+        return "theoretical optimum (oracle lengths)"

@@ -1,0 +1,56 @@
+"""Name-based scheduler construction for experiment configs and benches.
+
+The Past-Future scheduler lives in :mod:`repro.core.past_future` (it is the
+paper's contribution, not a baseline) and is imported lazily here to avoid a
+circular import between :mod:`repro.core` and :mod:`repro.schedulers`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.schedulers.aggressive import AggressiveScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.oracle import OracleScheduler
+
+SchedulerFactory = Callable[..., Scheduler]
+
+
+def _past_future_factory(**kwargs) -> Scheduler:
+    from repro.core.past_future import PastFutureScheduler
+
+    return PastFutureScheduler(**kwargs)
+
+
+SCHEDULER_REGISTRY: dict[str, SchedulerFactory] = {
+    "past-future": _past_future_factory,
+    "aggressive": AggressiveScheduler,
+    "conservative": ConservativeScheduler,
+    "oracle": OracleScheduler,
+}
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry name.
+
+    Args:
+        name: one of ``past-future``, ``aggressive``, ``conservative``,
+            ``oracle``.
+        **kwargs: forwarded to the scheduler constructor (e.g.
+            ``reserved_fraction`` or ``watermark``).
+
+    Raises:
+        KeyError: if the name is unknown.
+    """
+    try:
+        factory = SCHEDULER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_REGISTRY))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_schedulers() -> list[str]:
+    """Names of all registered schedulers."""
+    return sorted(SCHEDULER_REGISTRY)

@@ -1,0 +1,19 @@
+"""Serving-system substrate: SLA specs, client models, the simulator loop."""
+
+from repro.serving.clients import Arrival, ClosedLoopClientPool, OpenLoopArrivals
+from repro.serving.results import RunResult
+from repro.serving.server import ServingSimulator, SimulationLimits
+from repro.serving.sla import SLA_LARGE_MODEL, SLA_SMALL_MODEL, SLASpec, sla_for_model
+
+__all__ = [
+    "Arrival",
+    "ClosedLoopClientPool",
+    "OpenLoopArrivals",
+    "RunResult",
+    "ServingSimulator",
+    "SimulationLimits",
+    "SLA_LARGE_MODEL",
+    "SLA_SMALL_MODEL",
+    "SLASpec",
+    "sla_for_model",
+]

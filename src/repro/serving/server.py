@@ -1,0 +1,161 @@
+"""The serving simulator: clients + admission scheduler + engine event loop.
+
+:class:`ServingSimulator` owns the simulation clock.  Each tick it
+
+1. injects every client arrival whose timestamp has passed into the engine's
+   waiting queue,
+2. runs one continuous-batching iteration of the engine, which advances the
+   clock by the iteration's modelled latency, and
+3. reports completions back to the client pool so closed-loop clients can
+   submit their next request.
+
+When the engine is idle but future arrivals exist, the clock jumps forward to
+the next arrival, so lightly loaded simulations do not burn iterations doing
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.engine.cost_model import CostModel
+from repro.engine.engine import InferenceEngine
+from repro.engine.eviction import EvictionPolicy
+from repro.engine.request import Request
+from repro.hardware.platform import Platform
+from repro.schedulers.base import Scheduler
+from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
+from repro.serving.results import RunResult
+from repro.workloads.spec import Workload
+
+
+class LoadGenerator(Protocol):
+    """The interface both client models implement."""
+
+    def start(self, time: float = 0.0) -> None: ...
+
+    def on_request_finished(self, time: float) -> None: ...
+
+    def pop_arrivals(self, now: float) -> list: ...
+
+    def next_arrival_time(self) -> float | None: ...
+
+    @property
+    def drained(self) -> bool: ...
+
+
+@dataclass
+class SimulationLimits:
+    """Safety bounds so misconfigured runs terminate."""
+
+    max_steps: int = 2_000_000
+    max_time: float = 1_000_000.0
+
+
+class ServingSimulator:
+    """Drives an :class:`InferenceEngine` against a load generator."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: Scheduler,
+        cost_model: CostModel | None = None,
+        eviction_policy: EvictionPolicy | None = None,
+        block_size: int = 1,
+        chunked_prefill_tokens: int | None = None,
+        token_capacity_override: int | None = None,
+        limits: SimulationLimits | None = None,
+    ) -> None:
+        self.platform = platform
+        self.scheduler = scheduler
+        self.engine = InferenceEngine(
+            platform=platform,
+            scheduler=scheduler,
+            cost_model=cost_model,
+            eviction_policy=eviction_policy,
+            block_size=block_size,
+            chunked_prefill_tokens=chunked_prefill_tokens,
+            token_capacity_override=token_capacity_override,
+        )
+        self.limits = limits or SimulationLimits()
+
+    # ---------------------------------------------------------------- running
+    def _run(self, generator: LoadGenerator, workload_name: str, num_clients: int) -> RunResult:
+        engine = self.engine
+        time = 0.0
+        generator.start(time)
+        all_requests: list[Request] = []
+        completed = True
+
+        step = 0
+        idle_streak = 0
+        while True:
+            for spec in generator.pop_arrivals(time):
+                request = Request(spec=spec, arrival_time=spec.arrival_time if spec.arrival_time is not None else time)
+                all_requests.append(request)
+                engine.submit(request)
+
+            if not engine.has_work():
+                if generator.drained:
+                    break
+                next_arrival = generator.next_arrival_time()
+                if next_arrival is None:
+                    break
+                time = max(time, next_arrival)
+                continue
+
+            result = engine.step(time)
+            time = result.end_time if result.duration > 0 else time
+            for request in result.finished:
+                generator.on_request_finished(time)
+
+            # Stall guard: an idle iteration while requests are waiting means no
+            # admission is possible (e.g. a prompt larger than the capacity).
+            # A real server would reject such requests; the simulation stops
+            # instead of spinning forever.
+            if result.was_idle:
+                idle_streak += 1
+                if idle_streak >= 3:
+                    completed = False
+                    break
+            else:
+                idle_streak = 0
+
+            step += 1
+            if step >= self.limits.max_steps or time >= self.limits.max_time:
+                completed = False
+                break
+
+        return RunResult(
+            scheduler=self.scheduler.describe(),
+            workload=workload_name,
+            platform=self.platform.describe(),
+            num_clients=num_clients,
+            duration=time,
+            requests=all_requests,
+            engine_stats=engine.stats,
+            memory_timeline=engine.memory_timeline,
+            token_capacity=engine.token_capacity,
+            completed=completed,
+        )
+
+    def run_closed_loop(
+        self,
+        workload: Workload,
+        num_clients: int,
+        think_time: float = 0.0,
+    ) -> RunResult:
+        """Serve a workload with a fixed-size closed-loop client pool."""
+        pool = ClosedLoopClientPool(workload, num_clients=num_clients, think_time=think_time)
+        return self._run(pool, workload.name, num_clients)
+
+    def run_open_loop(
+        self,
+        workload: Workload,
+        request_rate: float | None = None,
+        seed: int = 0,
+    ) -> RunResult:
+        """Serve a workload with open-loop (Poisson or recorded) arrivals."""
+        arrivals = OpenLoopArrivals(workload, request_rate=request_rate, seed=seed)
+        return self._run(arrivals, workload.name, num_clients=0)

@@ -1,0 +1,70 @@
+"""SLA specifications and per-request compliance checks.
+
+The paper's SLA (Section 5.1) bounds two per-request quantities:
+
+* TTFT — time to first token, and
+* MTPOT — the maximum inter-token gap within the request,
+
+and declares a *service* SLA-compliant when 99% of requests satisfy both.
+Goodput counts only the tokens of compliant requests.
+
+Two presets match the paper: ``(TTFT < 10 s, MTPOT < 1.5 s)`` for the 7B/13B
+models and ``(TTFT < 15 s, MTPOT < 5 s)`` for the 70B model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.request import Request
+
+
+@dataclass(frozen=True)
+class SLASpec:
+    """Per-request latency bounds plus the service-level percentile target."""
+
+    ttft_limit: float
+    mtpot_limit: float
+    percentile: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.ttft_limit <= 0 or self.mtpot_limit <= 0:
+            raise ValueError("SLA limits must be positive")
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+
+    def request_compliant(self, request: Request) -> bool:
+        """Whether a single request met both latency bounds.
+
+        Unfinished requests and requests that never produced a token are
+        non-compliant by definition.  Requests with a single output token have
+        no inter-token gap, so only their TTFT is checked.
+        """
+        if not request.is_finished:
+            return False
+        ttft = request.ttft
+        if ttft is None or ttft > self.ttft_limit:
+            return False
+        max_gap = request.max_tpot
+        if max_gap is not None and max_gap > self.mtpot_limit:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable SLA string as used in the paper's figure captions."""
+        return (
+            f"P{self.percentile:.0f} TTFT {self.ttft_limit:g}s, "
+            f"P{self.percentile:.0f} MTPOT {self.mtpot_limit:g}s"
+        )
+
+
+#: SLA used for the 7B and 13B models in the paper.
+SLA_SMALL_MODEL = SLASpec(ttft_limit=10.0, mtpot_limit=1.5)
+
+#: SLA used for the 70B model in the paper.
+SLA_LARGE_MODEL = SLASpec(ttft_limit=15.0, mtpot_limit=5.0)
+
+
+def sla_for_model(model_name: str) -> SLASpec:
+    """The paper's SLA preset for a given model name."""
+    return SLA_LARGE_MODEL if "70B" in model_name else SLA_SMALL_MODEL

@@ -1,0 +1,58 @@
+"""Workload substrate: request specs and synthetic trace generators."""
+
+from repro.workloads.burstgpt import (
+    API_ARCHETYPES,
+    FIGURE3_TRACES,
+    TaskArchetype,
+    figure3_trace,
+    generate_api_trace,
+    generate_conversation_trace,
+)
+from repro.workloads.distributions import (
+    DISTRIBUTION_1,
+    DISTRIBUTION_2,
+    DISTRIBUTION_3,
+    PAPER_DISTRIBUTIONS,
+    UniformLengthSpec,
+    distribution_workload,
+    generate_uniform_workload,
+)
+from repro.workloads.mixed import generate_phase_workload, generate_varying_load
+from repro.workloads.multimodal import generate_textvqa_workload
+from repro.workloads.sharegpt import (
+    generate_sharegpt_o1_workload,
+    generate_sharegpt_workload,
+)
+from repro.workloads.spec import (
+    RequestSpec,
+    Workload,
+    concatenate,
+    interleave,
+    scale_workload,
+)
+
+__all__ = [
+    "API_ARCHETYPES",
+    "FIGURE3_TRACES",
+    "TaskArchetype",
+    "figure3_trace",
+    "generate_api_trace",
+    "generate_conversation_trace",
+    "DISTRIBUTION_1",
+    "DISTRIBUTION_2",
+    "DISTRIBUTION_3",
+    "PAPER_DISTRIBUTIONS",
+    "UniformLengthSpec",
+    "distribution_workload",
+    "generate_uniform_workload",
+    "generate_phase_workload",
+    "generate_varying_load",
+    "generate_textvqa_workload",
+    "generate_sharegpt_o1_workload",
+    "generate_sharegpt_workload",
+    "RequestSpec",
+    "Workload",
+    "concatenate",
+    "interleave",
+    "scale_workload",
+]

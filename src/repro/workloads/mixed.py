@@ -1,0 +1,46 @@
+"""Composite workloads with shifting length distributions (Figure 8).
+
+The parameter-sweep experiment of the paper concatenates ShareGPT-o1 followed
+by Distribution-1, -2 and -3 "to generate a workload with varying output
+length distributions".  :func:`generate_varying_load` builds exactly that
+sequence; :func:`generate_phase_workload` is the general form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.distributions import (
+    DISTRIBUTION_1,
+    DISTRIBUTION_2,
+    DISTRIBUTION_3,
+    generate_uniform_workload,
+)
+from repro.workloads.sharegpt import generate_sharegpt_o1_workload
+from repro.workloads.spec import Workload, concatenate
+
+
+def generate_phase_workload(
+    name: str,
+    phases: Sequence[Workload],
+) -> Workload:
+    """Concatenate workload *phases* into one long varying-distribution run."""
+    if not phases:
+        raise ValueError("at least one phase is required")
+    return concatenate(name, list(phases))
+
+
+def generate_varying_load(
+    requests_per_phase: int,
+    seed: int = 0,
+) -> Workload:
+    """The Figure-8 workload: ShareGPT-o1 ⧺ Distribution-1 ⧺ -2 ⧺ -3."""
+    if requests_per_phase <= 0:
+        raise ValueError("requests_per_phase must be positive")
+    phases = [
+        generate_sharegpt_o1_workload(requests_per_phase, seed=seed),
+        generate_uniform_workload(DISTRIBUTION_1, requests_per_phase, seed=seed + 1),
+        generate_uniform_workload(DISTRIBUTION_2, requests_per_phase, seed=seed + 2),
+        generate_uniform_workload(DISTRIBUTION_3, requests_per_phase, seed=seed + 3),
+    ]
+    return generate_phase_workload("VaryingLoad", phases)

@@ -1,0 +1,209 @@
+"""Request and workload containers shared by all trace generators.
+
+A :class:`RequestSpec` is the scheduler-visible description of one request:
+its prompt length, the output length the model *will* produce (hidden from the
+scheduler — only the engine consults it to know when the EOS token fires), and
+the ``max_new_tokens`` cap the client declared.
+
+A :class:`Workload` is an ordered list of specs plus metadata about how it was
+generated.  Arrival times are optional: closed-loop client simulations assign
+arrival dynamically, while open-loop (trace replay) runs use the recorded
+``arrival_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import mean
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One request of a workload.
+
+    Attributes:
+        request_id: unique identifier within the workload.
+        input_length: number of prompt tokens.
+        output_length: number of tokens the model will actually generate
+            (unknown to the scheduler; the engine stops the request after this
+            many tokens, emulating the EOS token).
+        max_new_tokens: client-declared generation cap.  The true output
+            length never exceeds it.
+        arrival_time: optional arrival timestamp (seconds) for open-loop replay.
+        image_tokens: extra prompt tokens contributed by images (multimodal
+            workloads); 0 for text-only requests.
+    """
+
+    request_id: str
+    input_length: int
+    output_length: int
+    max_new_tokens: int
+    arrival_time: float | None = None
+    image_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_length < 0:
+            raise ValueError("input_length must be non-negative")
+        if self.output_length <= 0:
+            raise ValueError("output_length must be positive")
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.output_length > self.max_new_tokens:
+            raise ValueError(
+                f"output_length ({self.output_length}) exceeds "
+                f"max_new_tokens ({self.max_new_tokens})"
+            )
+        if self.image_tokens < 0:
+            raise ValueError("image_tokens must be non-negative")
+
+    @property
+    def prompt_tokens(self) -> int:
+        """Total prompt tokens including any image prefix."""
+        return self.input_length + self.image_tokens
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus generated tokens — the request's final KV footprint."""
+        return self.prompt_tokens + self.output_length
+
+    @property
+    def worst_case_tokens(self) -> int:
+        """Prompt plus ``max_new_tokens`` — what a conservative scheduler reserves."""
+        return self.prompt_tokens + self.max_new_tokens
+
+    def with_arrival(self, arrival_time: float) -> "RequestSpec":
+        """Copy of this spec with an arrival timestamp."""
+        return replace(self, arrival_time=arrival_time)
+
+
+@dataclass
+class Workload:
+    """An ordered collection of request specs."""
+
+    name: str
+    requests: list[RequestSpec] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for spec in self.requests:
+            if spec.request_id in seen:
+                raise ValueError(f"duplicate request id {spec.request_id!r}")
+            seen.add(spec.request_id)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestSpec]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> RequestSpec:
+        return self.requests[index]
+
+    @property
+    def mean_input_length(self) -> float:
+        """Mean prompt length (excluding image tokens)."""
+        if not self.requests:
+            return 0.0
+        return mean(r.input_length for r in self.requests)
+
+    @property
+    def mean_output_length(self) -> float:
+        """Mean true output length."""
+        if not self.requests:
+            return 0.0
+        return mean(r.output_length for r in self.requests)
+
+    @property
+    def output_lengths(self) -> list[int]:
+        """True output lengths in order, e.g. for distribution analysis."""
+        return [r.output_length for r in self.requests]
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Sum of all true output lengths."""
+        return sum(r.output_length for r in self.requests)
+
+    @property
+    def is_decode_heavy(self) -> bool:
+        """Whether outputs are longer than inputs on average."""
+        return self.mean_output_length > self.mean_input_length
+
+    def head(self, count: int) -> "Workload":
+        """A workload containing the first ``count`` requests."""
+        return Workload(
+            name=f"{self.name}[:{count}]",
+            requests=self.requests[:count],
+            description=self.description,
+        )
+
+    def renumbered(self, prefix: str) -> "Workload":
+        """Copy with request ids rewritten as ``{prefix}-{index}``.
+
+        Useful when concatenating workloads whose ids would collide.
+        """
+        renamed = [
+            replace(spec, request_id=f"{prefix}-{i}")
+            for i, spec in enumerate(self.requests)
+        ]
+        return Workload(name=self.name, requests=renamed, description=self.description)
+
+
+def scale_workload(workload: Workload, factor: float, min_tokens: int = 1) -> Workload:
+    """Scale every length in a workload by ``factor`` (rounding, with a floor).
+
+    Scheduling behaviour depends on the *ratio* between request footprints and
+    the KV-cache capacity, not on absolute token counts.  Scaling a workload
+    down together with a proportional ``token_capacity_override`` keeps the
+    experiment's shape while making simulations orders of magnitude cheaper;
+    the scaled benchmarks rely on this.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    scaled: list[RequestSpec] = []
+    for spec in workload.requests:
+        output = max(int(round(spec.output_length * factor)), min_tokens)
+        cap = max(int(round(spec.max_new_tokens * factor)), output)
+        scaled.append(
+            replace(
+                spec,
+                input_length=max(int(round(spec.input_length * factor)), min_tokens),
+                output_length=output,
+                max_new_tokens=cap,
+                image_tokens=int(round(spec.image_tokens * factor)),
+            )
+        )
+    return Workload(
+        name=workload.name,
+        requests=scaled,
+        description=f"{workload.description} (scaled x{factor:g})",
+    )
+
+
+def concatenate(name: str, workloads: Sequence[Workload]) -> Workload:
+    """Concatenate several workloads into one, renumbering request ids."""
+    requests: list[RequestSpec] = []
+    for index, workload in enumerate(workloads):
+        renamed = workload.renumbered(f"w{index}")
+        requests.extend(renamed.requests)
+    description = " + ".join(w.name for w in workloads)
+    return Workload(name=name, requests=requests, description=description)
+
+
+def interleave(name: str, workloads: Sequence[Workload]) -> Workload:
+    """Round-robin interleave several workloads into one."""
+    iterators: list[Iterator[RequestSpec]] = [iter(w.renumbered(f"w{i}")) for i, w in enumerate(workloads)]
+    requests: list[RequestSpec] = []
+    live: list[Iterator[RequestSpec]] = list(iterators)
+    while live:
+        still_live: list[Iterator[RequestSpec]] = []
+        for iterator in live:
+            try:
+                requests.append(next(iterator))
+            except StopIteration:
+                continue
+            still_live.append(iterator)
+        live = still_live
+    description = " | ".join(w.name for w in workloads)
+    return Workload(name=name, requests=requests, description=description)

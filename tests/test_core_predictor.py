@@ -1,0 +1,136 @@
+"""Tests for the output-length distribution predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import OutputLengthPredictor, build_predictor
+
+
+def make_predictor(lengths, **kwargs) -> OutputLengthPredictor:
+    return build_predictor(np.array(lengths, dtype=np.int64), **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_empty_lengths(self):
+        with pytest.raises(ValueError):
+            make_predictor([])
+
+    def test_rejects_non_positive_lengths(self):
+        with pytest.raises(ValueError):
+            make_predictor([4, 0, 2])
+
+    def test_rejects_non_positive_num_samples(self):
+        with pytest.raises(ValueError):
+            make_predictor([1, 2], num_samples=0)
+
+
+class TestDistribution:
+    def test_probability_matches_counts(self):
+        predictor = make_predictor([1, 2, 2, 3])
+        assert predictor.probability(2) == pytest.approx(0.5)
+        assert predictor.probability(1) == pytest.approx(0.25)
+        assert predictor.probability(7) == 0.0
+
+    def test_exceedance_matches_counts(self):
+        predictor = make_predictor([1, 2, 2, 3])
+        assert predictor.exceedance(1) == pytest.approx(0.75)
+        assert predictor.exceedance(3) == 0.0
+
+    def test_support_and_max(self):
+        predictor = make_predictor([5, 3, 3, 9])
+        assert list(predictor.support) == [3, 5, 9]
+        assert predictor.max_length == 9
+
+
+class TestPredictNew:
+    def test_samples_come_from_history(self):
+        lengths = [10, 20, 30]
+        predictor = make_predictor(lengths, seed=1)
+        samples = predictor.predict_new(200)
+        assert set(samples.tolist()) <= set(lengths)
+
+    def test_count_zero_returns_empty(self):
+        predictor = make_predictor([10])
+        assert predictor.predict_new(0).size == 0
+
+    def test_negative_count_rejected(self):
+        predictor = make_predictor([10])
+        with pytest.raises(ValueError):
+            predictor.predict_new(-1)
+
+    def test_deterministic_for_fixed_seed(self):
+        first = make_predictor([1, 5, 9, 13], seed=42).predict_new(50)
+        second = make_predictor([1, 5, 9, 13], seed=42).predict_new(50)
+        np.testing.assert_array_equal(first, second)
+
+    def test_single_value_history_is_constant(self):
+        predictor = make_predictor([77])
+        assert set(predictor.predict_new(20).tolist()) == {77}
+
+    def test_samples_approximate_distribution(self):
+        # With a large sample the empirical frequency of each value should be
+        # close to its probability in the window.
+        predictor = make_predictor([10] * 30 + [100] * 70, seed=3)
+        samples = predictor.predict_new(5000)
+        frequency_100 = float(np.mean(samples == 100))
+        assert frequency_100 == pytest.approx(0.7, abs=0.05)
+
+
+class TestPredictRunning:
+    def test_conditional_samples_exceed_generated(self):
+        predictor = make_predictor([5, 10, 20, 40], seed=0)
+        generated = np.array([0, 4, 9, 19, 39])
+        predictions = predictor.predict_running(generated)
+        assert np.all(predictions > generated)
+
+    def test_exhausted_history_falls_back_to_next_token(self):
+        predictor = make_predictor([5, 10], seed=0)
+        predictions = predictor.predict_running([50])
+        assert predictions[0] == 51
+
+    def test_empty_input_returns_empty(self):
+        predictor = make_predictor([5, 10])
+        assert predictor.predict_running([]).size == 0
+
+    def test_rejects_negative_generated(self):
+        predictor = make_predictor([5, 10])
+        with pytest.raises(ValueError):
+            predictor.predict_running([-1])
+
+    def test_rejects_two_dimensional_generated(self):
+        predictor = make_predictor([5, 10])
+        with pytest.raises(ValueError):
+            predictor.predict_running(np.zeros((2, 2), dtype=np.int64))
+
+    def test_conditional_samples_come_from_tail(self):
+        predictor = make_predictor([5, 10, 20, 40], seed=9)
+        predictions = predictor.predict_running([10] * 500)
+        assert set(predictions.tolist()) <= {20, 40}
+
+
+class TestAggregation:
+    def test_max_aggregation_dominates_mean(self):
+        lengths = list(range(1, 101))
+        max_pred = make_predictor(lengths, seed=5, num_samples=8, aggregation="max")
+        mean_pred = make_predictor(lengths, seed=5, num_samples=8, aggregation="mean")
+        assert max_pred.predict_new(100).mean() >= mean_pred.predict_new(100).mean()
+
+    def test_median_aggregation_supported(self):
+        predictor = make_predictor([1, 2, 3, 4], num_samples=5, aggregation="median")
+        samples = predictor.predict_new(10)
+        assert np.all((samples >= 1) & (samples <= 4))
+
+    def test_unknown_aggregation_rejected(self):
+        predictor = make_predictor([1, 2, 3], num_samples=2, aggregation="max")
+        object.__setattr__(predictor, "aggregation", "bogus")
+        with pytest.raises(ValueError):
+            predictor.predict_new(3)
+
+    def test_repeated_sampling_with_max_is_conservative(self):
+        # More repeats with max-aggregation can only raise the prediction.
+        lengths = list(range(1, 1001))
+        single = make_predictor(lengths, seed=11, num_samples=1).predict_new(500).mean()
+        repeated = make_predictor(lengths, seed=11, num_samples=10).predict_new(500).mean()
+        assert repeated >= single

@@ -1,0 +1,109 @@
+"""Tests for the running-batch container and the eviction policies."""
+
+from __future__ import annotations
+
+from repro.engine.batch import RunningBatch
+from repro.engine.eviction import (
+    RecomputeNewestFirst,
+    RecomputeOldestFirst,
+    SwapEviction,
+)
+from repro.engine.request import Request
+from tests.conftest import make_spec
+
+
+def running_request(request_id: str, admit_time: float, generated: int = 0) -> Request:
+    request = Request(
+        spec=make_spec(request_id=request_id, input_length=10, output_length=20, max_new_tokens=40),
+        arrival_time=0.0,
+    )
+    request.admit(admit_time)
+    request.note_prefill(request.recompute_tokens)
+    for step in range(generated):
+        request.deliver_token(admit_time + step + 1)
+    return request
+
+
+class TestRunningBatch:
+    def test_add_remove_len(self):
+        batch = RunningBatch()
+        a = running_request("a", 1.0)
+        batch.add(a)
+        assert len(batch) == 1
+        assert a in batch
+        batch.remove(a)
+        assert batch.is_empty
+
+    def test_decoding_and_prefilling_views(self):
+        batch = RunningBatch()
+        decoding = running_request("a", 1.0)
+        prefilling = Request(spec=make_spec(request_id="b"), arrival_time=0.0)
+        prefilling.admit(2.0)
+        batch.add(decoding)
+        batch.add(prefilling)
+        assert batch.decoding == [decoding]
+        assert batch.prefilling == [prefilling]
+
+    def test_total_context_tokens(self):
+        batch = RunningBatch()
+        batch.add(running_request("a", 1.0, generated=5))
+        batch.add(running_request("b", 2.0, generated=2))
+        assert batch.total_context_tokens == (10 + 5) + (10 + 2)
+
+    def test_by_recency_orders_newest_first(self):
+        batch = RunningBatch()
+        old = running_request("old", 1.0)
+        new = running_request("new", 5.0)
+        batch.add(old)
+        batch.add(new)
+        assert batch.by_recency() == [new, old]
+
+
+class TestEvictionPolicies:
+    def _batch(self):
+        batch = RunningBatch()
+        old = running_request("old", 1.0, generated=8)
+        mid = running_request("mid", 2.0, generated=4)
+        new = running_request("new", 3.0, generated=1)
+        for request in (old, mid, new):
+            batch.add(request)
+        return batch, old, mid, new
+
+    def test_newest_first_selects_most_recent(self):
+        batch, old, mid, new = self._batch()
+        assert RecomputeNewestFirst().select_victim(batch) is new
+
+    def test_newest_first_respects_protect(self):
+        batch, old, mid, new = self._batch()
+        assert RecomputeNewestFirst().select_victim(batch, protect=new) is mid
+
+    def test_protect_is_last_resort(self):
+        batch = RunningBatch()
+        only = running_request("only", 1.0)
+        batch.add(only)
+        assert RecomputeNewestFirst().select_victim(batch, protect=only) is only
+
+    def test_empty_batch_has_no_victim(self):
+        assert RecomputeNewestFirst().select_victim(RunningBatch()) is None
+
+    def test_oldest_first_selects_least_recent(self):
+        batch, old, mid, new = self._batch()
+        assert RecomputeOldestFirst().select_victim(batch) is old
+
+    def test_oldest_first_respects_protect(self):
+        batch, old, mid, new = self._batch()
+        assert RecomputeOldestFirst().select_victim(batch, protect=old) is mid
+
+    def test_recompute_cost_is_full_context(self):
+        batch, old, mid, new = self._batch()
+        assert RecomputeNewestFirst().recompute_cost_tokens(old) == 10 + 8
+
+    def test_swap_cost_is_cheaper_than_recompute(self):
+        batch, old, mid, new = self._batch()
+        swap = SwapEviction(swap_fraction=0.25)
+        assert swap.recompute_cost_tokens(old) < RecomputeNewestFirst().recompute_cost_tokens(old)
+        assert swap.recompute_cost_tokens(old) >= 1
+
+    def test_swap_selects_same_victims_as_recompute(self):
+        batch, old, mid, new = self._batch()
+        assert SwapEviction().select_victim(batch) is new

@@ -1,0 +1,252 @@
+"""Tests for the continuous-batching engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.eviction import SwapEviction
+from repro.engine.request import Request, RequestState
+from repro.schedulers.aggressive import AggressiveScheduler
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.oracle import OracleScheduler
+from tests.conftest import make_spec
+
+
+def make_engine(platform_7b, scheduler=None, capacity=512, **kwargs) -> InferenceEngine:
+    return InferenceEngine(
+        platform=platform_7b,
+        scheduler=scheduler or AggressiveScheduler(watermark=1.0),
+        token_capacity_override=capacity,
+        **kwargs,
+    )
+
+
+def submit_requests(engine: InferenceEngine, count: int, input_length=16, output_length=8,
+                    max_new_tokens=32) -> list[Request]:
+    requests = []
+    for index in range(count):
+        request = Request(
+            spec=make_spec(
+                request_id=f"req-{index}",
+                input_length=input_length,
+                output_length=output_length,
+                max_new_tokens=max_new_tokens,
+            ),
+            arrival_time=0.0,
+        )
+        engine.submit(request)
+        requests.append(request)
+    return requests
+
+
+def run_until_drained(engine: InferenceEngine, max_steps: int = 10_000) -> float:
+    time = 0.0
+    for _ in range(max_steps):
+        if not engine.has_work():
+            return time
+        result = engine.step(time)
+        time = result.end_time
+    raise AssertionError("engine did not drain")
+
+
+class TestBasicOperation:
+    def test_rejects_invalid_capacity(self, platform_7b):
+        with pytest.raises(ValueError):
+            make_engine(platform_7b, capacity=0)
+
+    def test_rejects_invalid_chunk_size(self, platform_7b):
+        with pytest.raises(ValueError):
+            make_engine(platform_7b, chunked_prefill_tokens=0)
+
+    def test_submit_only_queued_requests(self, platform_7b):
+        engine = make_engine(platform_7b)
+        request = Request(spec=make_spec(), arrival_time=0.0)
+        request.admit(0.0)
+        with pytest.raises(ValueError):
+            engine.submit(request)
+
+    def test_single_request_completes(self, platform_7b):
+        engine = make_engine(platform_7b)
+        [request] = submit_requests(engine, 1, input_length=10, output_length=4)
+        run_until_drained(engine)
+        assert request.is_finished
+        assert request.generated_tokens == 4
+        assert len(request.token_times) == 4
+        assert engine.pool.used_tokens == 0
+
+    def test_first_token_delivered_in_admission_step(self, platform_7b):
+        engine = make_engine(platform_7b)
+        [request] = submit_requests(engine, 1, input_length=10, output_length=4)
+        result = engine.step(0.0)
+        assert request in result.admitted
+        assert request.generated_tokens == 1
+        assert result.work.prefill_tokens == 10
+
+    def test_time_advances_with_each_step(self, platform_7b):
+        engine = make_engine(platform_7b)
+        submit_requests(engine, 2, output_length=6)
+        first = engine.step(0.0)
+        second = engine.step(first.end_time)
+        assert second.end_time > first.end_time > 0.0
+
+    def test_decoding_steps_counted(self, platform_7b):
+        engine = make_engine(platform_7b)
+        submit_requests(engine, 3, output_length=5)
+        run_until_drained(engine)
+        assert engine.stats.decoding_steps >= 5
+        assert engine.stats.total_finished == 3
+
+    def test_idle_step_does_nothing(self, platform_7b):
+        engine = make_engine(platform_7b)
+        result = engine.step(0.0)
+        assert result.was_idle
+        assert result.duration == 0.0
+        assert engine.stats.idle_steps == 1
+
+    def test_memory_timeline_recorded(self, platform_7b):
+        engine = make_engine(platform_7b)
+        submit_requests(engine, 2, output_length=4)
+        run_until_drained(engine)
+        assert len(engine.memory_timeline) > 0
+        assert engine.memory_timeline.token_capacity == 512
+
+
+class TestContinuousBatching:
+    def test_requests_join_mid_flight(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096)
+        first = submit_requests(engine, 1, input_length=16, output_length=32)[0]
+        result = engine.step(0.0)
+        # A new request arrives after the first has started decoding.
+        late = Request(spec=make_spec(request_id="late", input_length=16, output_length=8),
+                       arrival_time=result.end_time)
+        engine.submit(late)
+        second = engine.step(result.end_time)
+        assert late in second.admitted
+        assert first.generated_tokens == 2  # kept decoding while late prefilled
+        run_until_drained(engine)
+        assert first.is_finished and late.is_finished
+
+    def test_finished_requests_release_memory_for_queued_ones(self, platform_7b):
+        # Capacity fits only one request's full footprint at a time.
+        engine = make_engine(platform_7b, scheduler=OracleScheduler(), capacity=40)
+        requests = submit_requests(engine, 3, input_length=16, output_length=8, max_new_tokens=16)
+        run_until_drained(engine)
+        assert all(r.is_finished for r in requests)
+        assert engine.stats.total_evictions == 0
+
+    def test_used_tokens_equals_batch_context(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096)
+        submit_requests(engine, 4, input_length=32, output_length=16)
+        time = 0.0
+        for _ in range(10):
+            if not engine.has_work():
+                break
+            result = engine.step(time)
+            time = result.end_time
+            assert engine.pool.used_tokens == engine.batch.total_context_tokens
+
+
+class TestEvictionBehaviour:
+    def test_aggressive_overcommit_triggers_eviction(self, platform_7b):
+        # Prompts fit, but outputs will not: the aggressive scheduler admits
+        # both and the engine must evict one mid-decode.
+        engine = make_engine(platform_7b, scheduler=AggressiveScheduler(watermark=1.0), capacity=64)
+        requests = submit_requests(engine, 2, input_length=24, output_length=30, max_new_tokens=30)
+        run_until_drained(engine)
+        assert engine.stats.total_evictions >= 1
+        assert all(r.is_finished for r in requests)
+        assert sum(r.eviction_count for r in requests) == engine.stats.total_evictions
+
+    def test_evicted_request_requeued_at_front(self, platform_7b):
+        engine = make_engine(platform_7b, scheduler=AggressiveScheduler(watermark=1.0), capacity=64)
+        submit_requests(engine, 2, input_length=24, output_length=30, max_new_tokens=30)
+        time = 0.0
+        evicted_request = None
+        for _ in range(200):
+            if not engine.has_work():
+                break
+            result = engine.step(time)
+            time = result.end_time
+            if result.evicted:
+                evicted_request = result.evicted[0]
+                break
+        assert evicted_request is not None
+        assert engine.waiting[0] is evicted_request
+        assert evicted_request.state is RequestState.QUEUED
+
+    def test_oracle_scheduler_never_evicts(self, platform_7b):
+        engine = make_engine(platform_7b, scheduler=OracleScheduler(), capacity=128)
+        requests = submit_requests(engine, 6, input_length=16, output_length=24, max_new_tokens=48)
+        run_until_drained(engine)
+        assert engine.stats.total_evictions == 0
+        assert all(r.is_finished for r in requests)
+
+    def test_conservative_scheduler_never_evicts(self, platform_7b):
+        engine = make_engine(platform_7b, scheduler=ConservativeScheduler(), capacity=128)
+        requests = submit_requests(engine, 6, input_length=16, output_length=24, max_new_tokens=48)
+        run_until_drained(engine)
+        assert engine.stats.total_evictions == 0
+        assert all(r.is_finished for r in requests)
+
+    def test_swap_eviction_reduces_recompute_work(self, platform_7b):
+        def build(policy):
+            engine = InferenceEngine(
+                platform=platform_7b,
+                scheduler=AggressiveScheduler(watermark=1.0),
+                token_capacity_override=64,
+                eviction_policy=policy,
+            )
+            submit_requests(engine, 2, input_length=24, output_length=30, max_new_tokens=30)
+            run_until_drained(engine)
+            return engine.stats
+
+        recompute_stats = build(None)
+        swap_stats = build(SwapEviction(swap_fraction=0.1))
+        assert swap_stats.total_evictions >= 1
+        assert swap_stats.total_prefill_tokens < recompute_stats.total_prefill_tokens
+
+
+class TestChunkedPrefill:
+    def test_prefill_spread_over_steps(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096, chunked_prefill_tokens=16)
+        [request] = submit_requests(engine, 1, input_length=64, output_length=4)
+        first = engine.step(0.0)
+        assert first.work.prefill_tokens == 16
+        assert request.state is RequestState.PREFILLING
+        assert request.generated_tokens == 0
+        steps = 1
+        time = first.end_time
+        while request.generated_tokens == 0:
+            result = engine.step(time)
+            time = result.end_time
+            steps += 1
+        assert steps == 4  # 64 prompt tokens at 16 per step
+
+    def test_chunked_prefill_work_never_exceeds_budget(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096, chunked_prefill_tokens=32)
+        submit_requests(engine, 5, input_length=48, output_length=4)
+        time = 0.0
+        while engine.has_work():
+            result = engine.step(time)
+            time = result.end_time
+            assert result.work.prefill_tokens <= 32
+
+    def test_all_requests_finish_with_chunking(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096, chunked_prefill_tokens=24)
+        requests = submit_requests(engine, 4, input_length=50, output_length=6)
+        run_until_drained(engine)
+        assert all(r.is_finished for r in requests)
+
+
+class TestMultimodalAccounting:
+    def test_images_counted_in_step_work(self, platform_7b):
+        engine = make_engine(platform_7b, capacity=4096)
+        request = Request(
+            spec=make_spec(request_id="mm", input_length=16, output_length=4, image_tokens=64),
+            arrival_time=0.0,
+        )
+        engine.submit(request)
+        result = engine.step(0.0)
+        assert result.work.images_encoded == 1
+        assert result.work.prefill_tokens == 16 + 64

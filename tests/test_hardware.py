@@ -1,0 +1,125 @@
+"""Tests for model/GPU descriptors and deployment platforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gpus import A30, A100_80G, GPU_REGISTRY, H800, RTX_4090, get_gpu
+from repro.hardware.models import (
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAVA_15_7B,
+    MODEL_REGISTRY,
+    QWEN_VL_CHAT,
+    get_model,
+)
+from repro.hardware.platform import (
+    PAPER_PLATFORMS,
+    Platform,
+    PlatformError,
+    make_platform,
+    paper_platform,
+)
+
+
+class TestModelConfig:
+    def test_registry_lookup(self):
+        assert get_model("Llama-2-7B-Chat") is LLAMA2_7B
+        with pytest.raises(KeyError):
+            get_model("GPT-5")
+
+    def test_registry_contains_all_paper_models(self):
+        assert len(MODEL_REGISTRY) == 6
+
+    def test_kv_bytes_per_token_llama7b(self):
+        # 2 (K+V) * 32 heads * 128 head_dim * 2 bytes * 32 layers = 512 KiB.
+        assert LLAMA2_7B.kv_bytes_per_token == 2 * 32 * 128 * 2 * 32
+        assert LLAMA2_7B.kv_bytes_per_token == 524288
+
+    def test_gqa_shrinks_kv_cache(self):
+        # Llama-2-70B uses 8 KV heads, so its per-layer KV footprint is much
+        # smaller than attention-head count alone would suggest.
+        per_layer_70b = LLAMA2_70B.kv_bytes_per_token / LLAMA2_70B.num_layers
+        per_layer_13b = LLAMA2_13B.kv_bytes_per_token / LLAMA2_13B.num_layers
+        assert per_layer_70b < per_layer_13b
+
+    def test_weight_bytes_and_flops(self):
+        assert LLAMA2_7B.weight_bytes == pytest.approx(2 * 6.74e9)
+        assert LLAMA2_7B.flops_per_token == pytest.approx(2 * 6.74e9)
+
+    def test_multimodal_flags(self):
+        assert not LLAMA2_7B.is_multimodal
+        assert QWEN_VL_CHAT.is_multimodal
+        assert LLAVA_15_7B.vision_prefix_tokens == 576
+
+    def test_head_dim(self):
+        assert LLAMA2_7B.head_dim == 128
+        assert LLAMA2_70B.head_dim == 128
+
+
+class TestGPUConfig:
+    def test_registry_lookup(self):
+        assert get_gpu("A100-80G") is A100_80G
+        with pytest.raises(KeyError):
+            get_gpu("B200")
+
+    def test_registry_contains_all_paper_gpus(self):
+        assert set(GPU_REGISTRY) == {"A100-80G", "H800", "RTX-4090", "A30"}
+
+    def test_usable_memory_below_total(self):
+        for gpu in (A100_80G, H800, RTX_4090, A30):
+            assert gpu.usable_memory_bytes < gpu.memory_bytes
+
+    def test_unit_conversions(self):
+        assert A100_80G.flops_per_second == pytest.approx(312e12)
+        assert A100_80G.bytes_per_second == pytest.approx(2039e9)
+
+
+class TestPlatform:
+    def test_7b_on_a100_capacity_order_of_magnitude(self):
+        platform = make_platform("Llama-2-7B-Chat", "A100-80G")
+        # ~58 GB of KV space at 512 KiB per token -> on the order of 1e5 slots.
+        assert 80_000 < platform.token_capacity < 200_000
+
+    def test_70b_needs_multiple_gpus(self):
+        with pytest.raises(PlatformError):
+            make_platform("Llama-2-70B-Chat", "A100-80G", tensor_parallel=1)
+        platform = make_platform("Llama-2-70B-Chat", "A100-80G", tensor_parallel=4)
+        assert platform.token_capacity > 0
+
+    def test_rejects_non_positive_tp(self):
+        with pytest.raises(PlatformError):
+            make_platform("Llama-2-7B-Chat", "A100-80G", tensor_parallel=0)
+
+    def test_tp_overhead_depends_on_nvlink(self):
+        nvlink = make_platform("Llama-2-70B-Chat", "A100-80G", tensor_parallel=4)
+        pcie = make_platform("Llama-2-70B-Chat", "RTX-4090", tensor_parallel=8)
+        assert nvlink.tp_overhead < pcie.tp_overhead
+        single = make_platform("Llama-2-7B-Chat", "A100-80G")
+        assert single.tp_overhead == 0.0
+
+    def test_aggregate_rates_scale_with_tp(self):
+        single = make_platform("Llama-2-13B-Chat", "A100-80G", 1)
+        double = make_platform("Llama-2-13B-Chat", "A100-80G", 2)
+        assert double.aggregate_flops > single.aggregate_flops
+        assert double.aggregate_bandwidth > single.aggregate_bandwidth
+
+    def test_describe_mentions_capacity(self):
+        platform = paper_platform("7b-a100")
+        assert "KV token slots" in platform.describe()
+
+    def test_all_paper_platforms_construct(self):
+        for key in PAPER_PLATFORMS:
+            platform = paper_platform(key)
+            assert isinstance(platform, Platform)
+            assert platform.token_capacity > 0
+
+    def test_unknown_platform_key(self):
+        with pytest.raises(KeyError):
+            paper_platform("3b-tpu")
+
+    def test_bigger_model_smaller_capacity_same_gpu(self):
+        small = paper_platform("7b-a100")
+        large = paper_platform("13b-a100")
+        assert large.token_capacity < small.token_capacity

@@ -1,0 +1,130 @@
+"""Tests for the contiguous (FasterTransformer-style) allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.block_manager import AllocationError, OutOfMemoryError
+from repro.memory.contiguous import ContiguousKVCachePool
+
+
+class TestReserve:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ContiguousKVCachePool(0)
+
+    def test_simple_reserve_and_free(self):
+        pool = ContiguousKVCachePool(100)
+        extent = pool.reserve("a", 40, used_tokens=10)
+        assert extent.start == 0
+        assert extent.length == 40
+        assert pool.reserved_tokens == 40
+        assert pool.used_tokens == 10
+        assert pool.free("a") == 40
+        assert pool.reserved_tokens == 0
+
+    def test_duplicate_reservation_rejected(self):
+        pool = ContiguousKVCachePool(100)
+        pool.reserve("a", 10)
+        with pytest.raises(AllocationError):
+            pool.reserve("a", 10)
+
+    def test_invalid_sizes_rejected(self):
+        pool = ContiguousKVCachePool(100)
+        with pytest.raises(AllocationError):
+            pool.reserve("a", 0)
+        with pytest.raises(AllocationError):
+            pool.reserve("b", 10, used_tokens=11)
+
+    def test_reservation_larger_than_capacity_raises(self):
+        pool = ContiguousKVCachePool(100)
+        with pytest.raises(OutOfMemoryError):
+            pool.reserve("a", 101)
+
+    def test_first_fit_places_in_earliest_gap(self):
+        pool = ContiguousKVCachePool(100)
+        pool.reserve("a", 30)
+        pool.reserve("b", 30)
+        pool.free("a")
+        extent = pool.reserve("c", 20)
+        assert extent.start == 0
+
+
+class TestFragmentation:
+    def _fragmented_pool(self) -> ContiguousKVCachePool:
+        # Reserve 25-token extents at 0, 25, 50, 75 then free alternating ones,
+        # leaving two 25-token holes that are not adjacent.
+        pool = ContiguousKVCachePool(100)
+        for index in range(4):
+            pool.reserve(f"r{index}", 25)
+        pool.free("r0")
+        pool.free("r2")
+        return pool
+
+    def test_total_free_does_not_imply_contiguous_fit(self):
+        pool = self._fragmented_pool()
+        assert pool.free_tokens == 50
+        assert pool.largest_free_extent == 25
+        assert not pool.can_reserve(40)
+        with pytest.raises(OutOfMemoryError):
+            pool.reserve("big", 40)
+
+    def test_external_fragmentation_metric(self):
+        pool = self._fragmented_pool()
+        assert pool.external_fragmentation == pytest.approx(0.5)
+
+    def test_unfragmented_pool_reports_zero(self):
+        pool = ContiguousKVCachePool(100)
+        pool.reserve("a", 30)
+        assert pool.external_fragmentation == pytest.approx(0.0)
+
+    def test_full_pool_reports_zero_fragmentation(self):
+        pool = ContiguousKVCachePool(50)
+        pool.reserve("a", 50)
+        assert pool.external_fragmentation == 0.0
+
+
+class TestAppendToken:
+    def test_append_consumes_reservation(self):
+        pool = ContiguousKVCachePool(50)
+        pool.reserve("a", 10, used_tokens=9)
+        pool.append_token("a")
+        assert pool.used_tokens == 10
+
+    def test_append_beyond_reservation_raises(self):
+        pool = ContiguousKVCachePool(50)
+        pool.reserve("a", 2, used_tokens=2)
+        with pytest.raises(OutOfMemoryError):
+            pool.append_token("a")
+
+    def test_append_unknown_request_rejected(self):
+        pool = ContiguousKVCachePool(50)
+        with pytest.raises(AllocationError):
+            pool.append_token("ghost")
+
+    def test_owners(self):
+        pool = ContiguousKVCachePool(50)
+        pool.reserve("a", 10)
+        pool.reserve("b", 10)
+        assert set(pool.owners()) == {"a", "b"}
+
+
+class TestPagedVsContiguous:
+    def test_paged_pool_avoids_external_fragmentation(self):
+        """The motivating comparison: a paged pool serves a request that the
+        fragmented contiguous pool cannot, despite identical free space."""
+        from repro.memory.block_manager import BlockKVCachePool
+
+        contiguous = ContiguousKVCachePool(100)
+        for index in range(4):
+            contiguous.reserve(f"r{index}", 25)
+        contiguous.free("r0")
+        contiguous.free("r2")
+        assert not contiguous.can_reserve(40)
+
+        paged = BlockKVCachePool(100, block_size=1)
+        for index in range(4):
+            paged.allocate(f"r{index}", 25)
+        paged.free("r0")
+        paged.free("r2")
+        assert paged.can_allocate(40)

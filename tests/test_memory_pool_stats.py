@@ -1,0 +1,72 @@
+"""Tests for the memory timeline accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.pool_stats import MemoryTimeline
+
+
+def record(timeline: MemoryTimeline, used: int, future: int, running: int = 1, queued: int = 0):
+    step = len(timeline) + 1
+    timeline.record(
+        step=step,
+        time=float(step),
+        used_tokens=used,
+        future_required_tokens=future,
+        running_requests=running,
+        queued_requests=queued,
+    )
+
+
+class TestAverages:
+    def test_empty_timeline_reports_zero(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        assert timeline.average_consumed_fraction == 0.0
+        assert timeline.average_future_required_fraction == 0.0
+        assert timeline.average_batch_size == 0.0
+
+    def test_average_consumed_fraction(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        record(timeline, used=50, future=60)
+        record(timeline, used=70, future=80)
+        assert timeline.average_consumed_fraction == pytest.approx(0.6)
+        assert timeline.average_future_required_fraction == pytest.approx(0.7)
+
+    def test_idle_steps_excluded_from_averages(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        record(timeline, used=80, future=90)
+        record(timeline, used=0, future=0, running=0)
+        assert timeline.average_consumed_fraction == pytest.approx(0.8)
+
+    def test_average_batch_size(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        record(timeline, used=10, future=10, running=2)
+        record(timeline, used=10, future=10, running=4)
+        assert timeline.average_batch_size == pytest.approx(3.0)
+
+
+class TestPeaks:
+    def test_peak_fractions(self):
+        timeline = MemoryTimeline(token_capacity=200)
+        record(timeline, used=50, future=150)
+        record(timeline, used=120, future=210)
+        assert timeline.peak_consumed_fraction == pytest.approx(0.6)
+        assert timeline.peak_future_required_fraction == pytest.approx(1.05)
+
+    def test_peaks_of_empty_timeline(self):
+        timeline = MemoryTimeline(token_capacity=200)
+        assert timeline.peak_consumed_fraction == 0.0
+        assert timeline.peak_future_required_fraction == 0.0
+
+    def test_oversubscribed_steps(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        record(timeline, used=90, future=120)
+        record(timeline, used=80, future=90)
+        record(timeline, used=95, future=101)
+        assert timeline.oversubscribed_steps() == 2
+
+    def test_len(self):
+        timeline = MemoryTimeline(token_capacity=100)
+        record(timeline, used=1, future=1)
+        assert len(timeline) == 1

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.future_memory import (
+    BatchEntry,
+    future_memory_profile,
+    memory_timeline,
+    peak_future_memory,
+    peak_future_memory_arrays,
+)
+from repro.core.history import OutputLengthHistory
+from repro.core.predictor import build_predictor
+from repro.memory.block_manager import BlockKVCachePool
+from repro.metrics.similarity import cosine_similarity, default_bin_edges, length_histogram
+
+entry_strategy = st.builds(
+    BatchEntry,
+    current_tokens=st.integers(min_value=0, max_value=500),
+    remaining_tokens=st.integers(min_value=0, max_value=500),
+)
+entries_strategy = st.lists(entry_strategy, min_size=0, max_size=30)
+lengths_strategy = st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=200)
+
+
+class TestFutureMemoryProperties:
+    @given(entries=entries_strategy)
+    def test_peak_bounded_between_current_sum_and_final_sum(self, entries):
+        peak = peak_future_memory(entries)
+        current_sum = sum(e.current_tokens for e in entries)
+        final_sum = sum(e.current_tokens + e.remaining_tokens for e in entries)
+        assert current_sum <= peak <= final_sum or not entries
+
+    @given(entries=entries_strategy)
+    def test_peak_equals_timeline_maximum(self, entries):
+        assert peak_future_memory(entries) == max(memory_timeline(entries))
+
+    @given(entries=st.lists(entry_strategy, min_size=1, max_size=30))
+    def test_profile_max_is_peak(self, entries):
+        assert max(future_memory_profile(entries)) == peak_future_memory(entries)
+
+    @given(entries=st.lists(entry_strategy, min_size=1, max_size=20), seed=st.integers(0, 100))
+    def test_permutation_invariance(self, entries, seed):
+        rng = np.random.default_rng(seed)
+        shuffled = [entries[i] for i in rng.permutation(len(entries))]
+        assert peak_future_memory(entries) == peak_future_memory(shuffled)
+
+    @given(entries=entries_strategy, extra=entry_strategy)
+    def test_adding_a_request_never_lowers_the_peak(self, entries, extra):
+        assert peak_future_memory(entries + [extra]) >= peak_future_memory(entries)
+
+    @given(
+        current=st.lists(st.integers(0, 300), min_size=1, max_size=25),
+        remaining=st.lists(st.integers(0, 300), min_size=1, max_size=25),
+    )
+    def test_array_and_dataclass_versions_agree(self, current, remaining):
+        size = min(len(current), len(remaining))
+        current, remaining = current[:size], remaining[:size]
+        entries = [BatchEntry(c, r) for c, r in zip(current, remaining)]
+        assert peak_future_memory_arrays(current, remaining) == peak_future_memory(entries)
+
+
+class TestPredictorProperties:
+    @given(lengths=lengths_strategy, seed=st.integers(0, 1000), count=st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_new_samples_are_drawn_from_history(self, lengths, seed, count):
+        predictor = build_predictor(np.array(lengths), seed=seed)
+        samples = predictor.predict_new(count)
+        assert set(samples.tolist()) <= set(lengths)
+
+    @given(
+        lengths=lengths_strategy,
+        generated=st.lists(st.integers(0, 5000), min_size=1, max_size=30),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50)
+    def test_running_predictions_strictly_exceed_generated(self, lengths, generated, seed):
+        predictor = build_predictor(np.array(lengths), seed=seed)
+        predictions = predictor.predict_running(generated)
+        assert np.all(predictions > np.array(generated))
+
+    @given(lengths=lengths_strategy)
+    def test_probabilities_sum_to_one_over_support(self, lengths):
+        predictor = build_predictor(np.array(lengths))
+        total = sum(predictor.probability(int(v)) for v in predictor.support)
+        assert abs(total - 1.0) < 1e-9
+
+
+class TestHistoryProperties:
+    @given(
+        values=st.lists(st.integers(1, 10_000), min_size=1, max_size=300),
+        window=st.integers(1, 50),
+    )
+    def test_window_keeps_most_recent_values(self, values, window):
+        history = OutputLengthHistory(window_size=window)
+        history.extend(values)
+        expected = values[-window:]
+        assert list(history.snapshot()) == expected
+        assert len(history) == len(expected)
+
+
+class TestBlockPoolProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 64), min_size=1, max_size=20),
+        block_size=st.sampled_from([1, 4, 16]),
+    )
+    @settings(max_examples=50)
+    def test_allocate_free_round_trip_restores_pool(self, sizes, block_size):
+        pool = BlockKVCachePool(4096, block_size=block_size)
+        allocated = []
+        for index, size in enumerate(sizes):
+            if pool.can_allocate(size):
+                pool.allocate(f"r{index}", size)
+                allocated.append(f"r{index}")
+        assert pool.used_tokens == sum(
+            sizes[int(name[1:])] for name in allocated
+        )
+        for name in allocated:
+            pool.free(name)
+        assert pool.used_tokens == 0
+        assert pool.free_blocks == pool.num_blocks
+
+    @given(
+        sizes=st.lists(st.integers(1, 64), min_size=1, max_size=20),
+        appends=st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_used_tokens_never_exceed_capacity(self, sizes, appends):
+        pool = BlockKVCachePool(512, block_size=1)
+        for index, size in enumerate(sizes):
+            if pool.can_allocate(size):
+                pool.allocate(f"r{index}", size)
+        owners = pool.owners()
+        for index in range(appends):
+            if not owners:
+                break
+            owner = owners[index % len(owners)]
+            if pool.can_append_token(owner):
+                pool.append_token(owner)
+        assert pool.used_tokens <= pool.token_capacity
+
+
+class TestSimilarityProperties:
+    @given(
+        lengths_a=st.lists(st.integers(1, 2048), min_size=5, max_size=200),
+        lengths_b=st.lists(st.integers(1, 2048), min_size=5, max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_cosine_similarity_in_unit_interval_and_symmetric(self, lengths_a, lengths_b):
+        edges = default_bin_edges(2048, 32)
+        hist_a = length_histogram(lengths_a, edges)
+        hist_b = length_histogram(lengths_b, edges)
+        sim_ab = cosine_similarity(hist_a, hist_b)
+        sim_ba = cosine_similarity(hist_b, hist_a)
+        assert 0.0 <= sim_ab <= 1.0 + 1e-9
+        assert sim_ab == sim_ba
+
+    @given(lengths=st.lists(st.integers(1, 2048), min_size=5, max_size=200))
+    def test_self_similarity_is_one(self, lengths):
+        edges = default_bin_edges(2048, 32)
+        hist = length_histogram(lengths, edges)
+        assert hist.sum() == 0.0 or abs(cosine_similarity(hist, hist) - 1.0) < 1e-9

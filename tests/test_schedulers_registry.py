@@ -1,0 +1,99 @@
+"""Tests for the scheduler registry and the base-class utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.past_future import PastFutureScheduler
+from repro.engine.request import Request
+from repro.schedulers.aggressive import AggressiveScheduler
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.oracle import OracleScheduler
+from repro.schedulers.registry import available_schedulers, create_scheduler
+from tests.conftest import make_spec
+
+
+class TestRegistry:
+    def test_all_expected_names_present(self):
+        assert available_schedulers() == ["aggressive", "conservative", "oracle", "past-future"]
+
+    def test_create_past_future(self):
+        scheduler = create_scheduler("past-future", reserved_fraction=0.1)
+        assert isinstance(scheduler, PastFutureScheduler)
+        assert scheduler.reserved_fraction == 0.1
+
+    def test_create_aggressive(self):
+        scheduler = create_scheduler("aggressive", watermark=0.9)
+        assert isinstance(scheduler, AggressiveScheduler)
+        assert scheduler.watermark == 0.9
+
+    def test_create_conservative(self):
+        scheduler = create_scheduler("conservative", overcommit=1.25)
+        assert isinstance(scheduler, ConservativeScheduler)
+        assert scheduler.overcommit == 1.25
+
+    def test_create_oracle(self):
+        assert isinstance(create_scheduler("oracle"), OracleScheduler)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_scheduler("nonexistent")
+
+    def test_lazy_export_from_schedulers_package(self):
+        import repro.schedulers as schedulers
+
+        assert schedulers.PastFutureScheduler is PastFutureScheduler
+        with pytest.raises(AttributeError):
+            schedulers.NoSuchScheduler  # noqa: B018
+
+
+class TestSchedulingContext:
+    def test_free_tokens(self):
+        context = SchedulingContext(
+            time=0.0, step=0, running=[], waiting=[], token_capacity=100, used_tokens=30
+        )
+        assert context.free_tokens == 70
+
+    def test_running_context_tokens(self):
+        request = Request(spec=make_spec(input_length=12, output_length=4), arrival_time=0.0)
+        context = SchedulingContext(
+            time=0.0, step=0, running=[request], waiting=[], token_capacity=100, used_tokens=12
+        )
+        assert context.running_context_tokens == 12
+
+
+class TestBatchCapUtility:
+    class _DummyScheduler(Scheduler):
+        name = "dummy"
+
+        def schedule(self, context):
+            return self._respect_batch_cap(context, list(context.waiting))
+
+    def _context(self, num_running: int, num_waiting: int) -> SchedulingContext:
+        running = [
+            Request(spec=make_spec(request_id=f"r{i}"), arrival_time=0.0)
+            for i in range(num_running)
+        ]
+        waiting = [
+            Request(spec=make_spec(request_id=f"w{i}"), arrival_time=0.0)
+            for i in range(num_waiting)
+        ]
+        return SchedulingContext(
+            time=0.0, step=0, running=running, waiting=waiting,
+            token_capacity=10_000, used_tokens=0,
+        )
+
+    def test_unlimited_by_default(self):
+        scheduler = self._DummyScheduler()
+        assert len(scheduler.schedule(self._context(0, 7))) == 7
+
+    def test_cap_limits_total_running(self):
+        scheduler = self._DummyScheduler()
+        scheduler.max_running_requests = 5
+        assert len(scheduler.schedule(self._context(3, 7))) == 2
+
+    def test_cap_already_met(self):
+        scheduler = self._DummyScheduler()
+        scheduler.max_running_requests = 2
+        assert scheduler.schedule(self._context(3, 7)) == []

@@ -1,0 +1,133 @@
+"""Integration tests for the serving simulator event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers.aggressive import AggressiveScheduler
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.core.past_future import PastFutureScheduler
+from repro.serving.server import ServingSimulator, SimulationLimits
+from repro.serving.sla import SLASpec
+from repro.workloads.spec import RequestSpec, Workload
+from tests.conftest import make_workload
+
+
+def simulator(platform_7b, scheduler, capacity=1024, **kwargs) -> ServingSimulator:
+    return ServingSimulator(
+        platform=platform_7b,
+        scheduler=scheduler,
+        token_capacity_override=capacity,
+        **kwargs,
+    )
+
+
+class TestClosedLoopRuns:
+    def test_all_requests_complete(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler())
+        result = sim.run_closed_loop(make_workload(30, output_length=8), num_clients=6)
+        assert result.completed
+        assert len(result.finished_requests) == 30
+        assert result.duration > 0
+        assert result.num_clients == 6
+
+    def test_tokens_accounted(self, platform_7b):
+        workload = make_workload(20, output_length=10)
+        sim = simulator(platform_7b, AggressiveScheduler())
+        result = sim.run_closed_loop(workload, num_clients=4)
+        assert result.total_output_tokens == 20 * 10
+
+    def test_arrival_times_respect_closed_loop(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler())
+        result = sim.run_closed_loop(make_workload(12, output_length=6), num_clients=3)
+        arrivals = sorted(r.arrival_time for r in result.requests)
+        # Exactly three requests arrive at time zero (one per client).
+        assert sum(1 for a in arrivals if a == 0.0) == 3
+        assert all(a >= 0.0 for a in arrivals)
+
+    def test_more_clients_do_not_slow_down_small_workload(self, platform_7b):
+        workload = make_workload(24, output_length=8)
+        few = simulator(platform_7b, AggressiveScheduler(), capacity=8192).run_closed_loop(workload, 2)
+        many = simulator(platform_7b, AggressiveScheduler(), capacity=8192).run_closed_loop(workload, 12)
+        assert many.duration <= few.duration
+
+    def test_past_future_scheduler_end_to_end(self, platform_7b, small_decode_heavy_workload):
+        sim = simulator(platform_7b, PastFutureScheduler(seed=1), capacity=2048)
+        result = sim.run_closed_loop(small_decode_heavy_workload, num_clients=8)
+        assert result.completed
+        assert len(result.finished_requests) == len(small_decode_heavy_workload)
+
+    def test_memory_never_exceeds_capacity(self, platform_7b, small_decode_heavy_workload):
+        sim = simulator(platform_7b, AggressiveScheduler(watermark=1.0), capacity=1024)
+        result = sim.run_closed_loop(small_decode_heavy_workload, num_clients=12)
+        assert result.memory_timeline is not None
+        assert result.memory_timeline.peak_consumed_fraction <= 1.0
+
+
+class TestOpenLoopRuns:
+    def test_poisson_run_completes(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler(), capacity=4096)
+        result = sim.run_open_loop(make_workload(20, output_length=6), request_rate=50.0, seed=3)
+        assert result.completed
+        assert len(result.finished_requests) == 20
+        assert result.num_clients == 0
+
+    def test_low_rate_is_mostly_idle_but_finishes(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler(), capacity=4096)
+        result = sim.run_open_loop(make_workload(5, output_length=4), request_rate=2.0, seed=4)
+        assert result.completed
+        assert result.duration > 1.0
+
+
+class TestSafetyLimits:
+    def test_max_steps_terminates_run(self, platform_7b):
+        sim = simulator(
+            platform_7b,
+            AggressiveScheduler(),
+            capacity=2048,
+            limits=SimulationLimits(max_steps=5),
+        )
+        result = sim.run_closed_loop(make_workload(50, output_length=50, max_new_tokens=64), num_clients=10)
+        assert not result.completed
+
+    def test_stall_guard_stops_unschedulable_workload(self, platform_7b):
+        # A prompt larger than the whole KV pool can never be admitted.
+        giant = Workload(
+            name="giant",
+            requests=[
+                RequestSpec(request_id="g0", input_length=5000, output_length=4, max_new_tokens=8)
+            ],
+        )
+        sim = simulator(platform_7b, ConservativeScheduler(), capacity=256)
+        result = sim.run_closed_loop(giant, num_clients=1)
+        assert not result.completed
+        assert result.finished_requests == []
+
+
+class TestRunResultMetrics:
+    def test_goodput_equals_throughput_when_sla_met(self, platform_7b):
+        sim = simulator(platform_7b, ConservativeScheduler(), capacity=8192)
+        result = sim.run_closed_loop(make_workload(16, output_length=8), num_clients=4)
+        sla = SLASpec(ttft_limit=1e6, mtpot_limit=1e6)
+        assert result.goodput(sla) == pytest.approx(result.throughput())
+
+    def test_goodput_zero_under_impossible_sla(self, platform_7b):
+        sim = simulator(platform_7b, ConservativeScheduler(), capacity=8192)
+        result = sim.run_closed_loop(make_workload(16, output_length=8), num_clients=4)
+        sla = SLASpec(ttft_limit=1e-9, mtpot_limit=1e-9)
+        assert result.goodput(sla) == 0.0
+
+    def test_describe_mentions_counts(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler(), capacity=4096)
+        result = sim.run_closed_loop(make_workload(8, output_length=4), num_clients=2)
+        text = result.describe()
+        assert "8 requests" in text
+        assert "evictions" in text
+
+    def test_latency_summary_counts_finished(self, platform_7b):
+        sim = simulator(platform_7b, AggressiveScheduler(), capacity=4096)
+        result = sim.run_closed_loop(make_workload(10, output_length=5), num_clients=5)
+        summary = result.latency_summary()
+        assert summary.count == 10
+        assert summary.mean_ttft > 0
+        assert summary.p99_mtpot >= summary.mean_tpot

@@ -1,0 +1,78 @@
+"""Tests for SLA specifications and compliance checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.request import Request
+from repro.serving.sla import SLA_LARGE_MODEL, SLA_SMALL_MODEL, SLASpec, sla_for_model
+from tests.conftest import make_spec
+
+
+def finished_request(arrival=0.0, token_times=(1.0, 1.5, 2.0)) -> Request:
+    request = Request(
+        spec=make_spec(output_length=len(token_times), max_new_tokens=len(token_times) + 1),
+        arrival_time=arrival,
+    )
+    request.admit(arrival)
+    request.note_prefill(request.prompt_tokens)
+    for time in token_times:
+        request.deliver_token(time)
+    request.finish(token_times[-1])
+    return request
+
+
+class TestSLASpec:
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ValueError):
+            SLASpec(ttft_limit=0, mtpot_limit=1)
+        with pytest.raises(ValueError):
+            SLASpec(ttft_limit=1, mtpot_limit=0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            SLASpec(ttft_limit=1, mtpot_limit=1, percentile=0)
+
+    def test_presets_match_paper(self):
+        assert SLA_SMALL_MODEL.ttft_limit == 10.0
+        assert SLA_SMALL_MODEL.mtpot_limit == 1.5
+        assert SLA_LARGE_MODEL.ttft_limit == 15.0
+        assert SLA_LARGE_MODEL.mtpot_limit == 5.0
+
+    def test_sla_for_model(self):
+        assert sla_for_model("Llama-2-7B-Chat") is SLA_SMALL_MODEL
+        assert sla_for_model("Llama-2-13B-Chat") is SLA_SMALL_MODEL
+        assert sla_for_model("Llama-2-70B-Chat") is SLA_LARGE_MODEL
+
+    def test_describe(self):
+        assert "TTFT 10s" in SLA_SMALL_MODEL.describe()
+
+
+class TestCompliance:
+    def test_compliant_request(self):
+        sla = SLASpec(ttft_limit=2.0, mtpot_limit=1.0)
+        assert sla.request_compliant(finished_request())
+
+    def test_ttft_violation(self):
+        sla = SLASpec(ttft_limit=0.5, mtpot_limit=1.0)
+        assert not sla.request_compliant(finished_request())
+
+    def test_mtpot_violation(self):
+        sla = SLASpec(ttft_limit=10.0, mtpot_limit=0.3)
+        assert not sla.request_compliant(finished_request())
+
+    def test_unfinished_request_is_non_compliant(self):
+        request = Request(spec=make_spec(), arrival_time=0.0)
+        assert not SLA_SMALL_MODEL.request_compliant(request)
+
+    def test_single_token_request_checks_only_ttft(self):
+        request = finished_request(token_times=(1.0,))
+        assert SLASpec(ttft_limit=2.0, mtpot_limit=0.001).request_compliant(request)
+        assert not SLASpec(ttft_limit=0.5, mtpot_limit=0.001).request_compliant(request)
+
+    def test_eviction_stall_breaks_mtpot(self):
+        # A long inter-token gap (as produced by an eviction + recompute)
+        # violates the MTPOT limit even though TTFT and the other gaps are fine.
+        request = finished_request(token_times=(1.0, 1.2, 5.0, 5.2))
+        sla = SLASpec(ttft_limit=10.0, mtpot_limit=1.5)
+        assert not sla.request_compliant(request)

@@ -1,0 +1,123 @@
+"""Tests for request specs and workload containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.spec import (
+    RequestSpec,
+    Workload,
+    concatenate,
+    interleave,
+    scale_workload,
+)
+from tests.conftest import make_spec, make_workload
+
+
+class TestRequestSpec:
+    def test_valid_spec(self):
+        spec = make_spec(input_length=10, output_length=5, max_new_tokens=20)
+        assert spec.prompt_tokens == 10
+        assert spec.total_tokens == 15
+        assert spec.worst_case_tokens == 30
+
+    def test_image_tokens_add_to_prompt(self):
+        spec = make_spec(input_length=10, image_tokens=256)
+        assert spec.prompt_tokens == 266
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            make_spec(input_length=-1)
+
+    def test_rejects_non_positive_output(self):
+        with pytest.raises(ValueError):
+            make_spec(output_length=0)
+
+    def test_rejects_output_above_cap(self):
+        with pytest.raises(ValueError):
+            make_spec(output_length=100, max_new_tokens=50)
+
+    def test_rejects_negative_image_tokens(self):
+        with pytest.raises(ValueError):
+            make_spec(image_tokens=-1)
+
+    def test_with_arrival(self):
+        spec = make_spec()
+        timed = spec.with_arrival(3.5)
+        assert timed.arrival_time == 3.5
+        assert spec.arrival_time is None
+
+
+class TestWorkload:
+    def test_duplicate_ids_rejected(self):
+        spec = make_spec(request_id="dup")
+        with pytest.raises(ValueError):
+            Workload(name="w", requests=[spec, spec])
+
+    def test_iteration_and_indexing(self):
+        workload = make_workload(num_requests=3)
+        assert len(workload) == 3
+        assert list(workload)[0] is workload[0]
+
+    def test_means(self):
+        workload = make_workload(num_requests=4, input_length=10, output_length=30)
+        assert workload.mean_input_length == 10
+        assert workload.mean_output_length == 30
+        assert workload.is_decode_heavy
+
+    def test_empty_workload_statistics(self):
+        workload = Workload(name="empty")
+        assert workload.mean_input_length == 0.0
+        assert workload.mean_output_length == 0.0
+        assert workload.total_output_tokens == 0
+
+    def test_output_lengths_and_total(self):
+        workload = make_workload(num_requests=5, output_length=7)
+        assert workload.output_lengths == [7] * 5
+        assert workload.total_output_tokens == 35
+
+    def test_head(self):
+        workload = make_workload(num_requests=10)
+        assert len(workload.head(3)) == 3
+
+    def test_renumbered_ids_unique(self):
+        workload = make_workload(num_requests=3, name="a")
+        renamed = workload.renumbered("x")
+        assert [r.request_id for r in renamed] == ["x-0", "x-1", "x-2"]
+
+
+class TestComposition:
+    def test_concatenate_preserves_order_and_renames(self):
+        first = make_workload(num_requests=2, name="alpha")
+        second = make_workload(num_requests=3, name="beta")
+        combined = concatenate("combo", [first, second])
+        assert len(combined) == 5
+        assert combined[0].request_id.startswith("w0-")
+        assert combined[-1].request_id.startswith("w1-")
+
+    def test_interleave_round_robins(self):
+        first = make_workload(num_requests=3, name="alpha", output_length=11)
+        second = make_workload(num_requests=1, name="beta", output_length=22)
+        mixed = interleave("mix", [first, second])
+        assert len(mixed) == 4
+        assert mixed[0].output_length == 11
+        assert mixed[1].output_length == 22
+        assert mixed[2].output_length == 11
+
+    def test_scale_workload_halves_lengths(self):
+        workload = make_workload(num_requests=2, input_length=100, output_length=50, max_new_tokens=80)
+        scaled = scale_workload(workload, 0.5)
+        assert scaled[0].input_length == 50
+        assert scaled[0].output_length == 25
+        assert scaled[0].max_new_tokens == 40
+
+    def test_scale_workload_respects_floor_and_cap_invariant(self):
+        workload = make_workload(num_requests=2, input_length=3, output_length=2, max_new_tokens=2)
+        scaled = scale_workload(workload, 0.01)
+        for spec in scaled:
+            assert spec.output_length >= 1
+            assert spec.max_new_tokens >= spec.output_length
+
+    def test_scale_workload_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            scale_workload(make_workload(), 0.0)

@@ -1,5 +1,11 @@
 """Experiment drivers, sweeps, and text-table rendering."""
 
+from repro.analysis.cluster_sweep import (
+    ClusterExperimentConfig,
+    fleet_table,
+    router_comparison_sweep,
+    run_cluster_experiment,
+)
 from repro.analysis.experiments import (
     ExperimentConfig,
     memory_report_from_run,
@@ -21,6 +27,10 @@ from repro.analysis.sweep import (
 from repro.analysis.tables import render_curves, render_table
 
 __all__ = [
+    "ClusterExperimentConfig",
+    "fleet_table",
+    "router_comparison_sweep",
+    "run_cluster_experiment",
     "ExperimentConfig",
     "memory_report_from_run",
     "quick_platform",

@@ -10,13 +10,12 @@ These drive the paper's sweep-style figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.analysis.experiments import ExperimentConfig, run_experiment, run_framework
 from repro.frameworks.profiles import FrameworkProfile
 from repro.hardware.platform import Platform
-from repro.serving.results import RunResult
 from repro.serving.sla import SLASpec
 from repro.workloads.spec import Workload
 

@@ -15,7 +15,6 @@ arrive.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -20,7 +20,7 @@ slower backend, reflecting the HuggingFace reference implementations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.past_future import PastFutureScheduler

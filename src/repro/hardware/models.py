@@ -14,7 +14,7 @@ Both are derivable from the architectural parameters below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

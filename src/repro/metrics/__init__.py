@@ -1,5 +1,6 @@
-"""Metrics: latency, throughput/goodput, memory accounting, trace similarity."""
+"""Metrics: latency, throughput/goodput, fleet aggregates, memory, similarity."""
 
+from repro.metrics.fleet import FleetSummary, load_imbalance, summarize_fleet
 from repro.metrics.goodput import (
     ThroughputSummary,
     evicted_request_fraction,
@@ -28,6 +29,9 @@ from repro.metrics.similarity import (
 )
 
 __all__ = [
+    "FleetSummary",
+    "load_imbalance",
+    "summarize_fleet",
     "ThroughputSummary",
     "evicted_request_fraction",
     "eviction_rate",

@@ -1,0 +1,119 @@
+"""Fleet-level metrics: aggregate goodput, latency percentiles, load balance.
+
+A cluster run produces one :class:`~repro.serving.results.RunResult` per
+replica.  The fleet summary aggregates them into the numbers a capacity
+planner actually compares across routing policies:
+
+* **goodput / throughput** over the fleet makespan,
+* **SLA attainment** — the fraction of finished requests meeting the SLA,
+* **p50/p99 TTFT and TPOT** across every request the fleet served, and
+* **load imbalance** — the coefficient of variation of per-replica output
+  tokens (0 = perfectly balanced; 1 means the standard deviation across
+  replicas equals the mean, i.e. severe skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.request import Request
+from repro.metrics.goodput import summarize_throughput
+from repro.metrics.latency import finished_requests, mean_tpots, percentile, ttfts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving imports metrics)
+    from repro.serving.sla import SLASpec
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate outcome of one cluster serving run."""
+
+    num_replicas: int
+    duration: float
+    submitted_requests: int
+    rejected_requests: int
+    finished_requests: int
+    total_output_tokens: int
+    goodput: float
+    throughput: float
+    sla_attainment: float
+    p50_ttft: float
+    p99_ttft: float
+    p50_tpot: float
+    p99_tpot: float
+    load_imbalance: float
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary row for table rendering."""
+        return {
+            "replicas": self.num_replicas,
+            "goodput_tok_s": round(self.goodput, 1),
+            "throughput_tok_s": round(self.throughput, 1),
+            "sla_attainment": f"{self.sla_attainment:.1%}",
+            "p99_ttft_s": round(self.p99_ttft, 3),
+            "p99_tpot_s": round(self.p99_tpot, 3),
+            "imbalance_cv": round(self.load_imbalance, 3),
+            "rejected": self.rejected_requests,
+        }
+
+
+def load_imbalance(per_replica_loads: Sequence[float]) -> float:
+    """Coefficient of variation of per-replica load (0 = perfectly balanced).
+
+    An idle fleet (zero mean load) is balanced by definition, so it returns 0
+    rather than dividing by zero.
+    """
+    loads = np.asarray(per_replica_loads, dtype=float)
+    if loads.size == 0:
+        return 0.0
+    mean = loads.mean()
+    if mean <= 0:
+        return 0.0
+    return float(loads.std() / mean)
+
+
+def summarize_fleet(
+    per_replica_requests: Sequence[Sequence[Request]],
+    duration: float,
+    sla: "SLASpec",
+    rejected: int = 0,
+) -> FleetSummary:
+    """Aggregate per-replica request lists into one fleet summary.
+
+    Args:
+        per_replica_requests: every request each replica served (one inner
+            sequence per replica, finished or not).
+        duration: fleet makespan in seconds.
+        sla: the SLA deciding goodput credit and attainment.
+        rejected: requests the router turned away before any replica saw them.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    all_requests: list[Request] = [r for replica in per_replica_requests for r in replica]
+    throughput = summarize_throughput(all_requests, duration, sla)
+    done = finished_requests(all_requests)
+    ttft_values = ttfts(done)
+    tpot_values = mean_tpots(done)
+    per_replica_tokens = [
+        sum(r.generated_tokens for r in replica if r.is_finished)
+        for replica in per_replica_requests
+    ]
+    return FleetSummary(
+        num_replicas=len(per_replica_requests),
+        duration=duration,
+        submitted_requests=len(all_requests) + rejected,
+        rejected_requests=rejected,
+        finished_requests=throughput.finished_requests,
+        total_output_tokens=throughput.total_output_tokens,
+        goodput=throughput.goodput,
+        throughput=throughput.throughput,
+        sla_attainment=throughput.compliance_rate,
+        p50_ttft=percentile(ttft_values, 50.0),
+        p99_ttft=percentile(ttft_values, 99.0),
+        p50_tpot=percentile(tpot_values, 50.0),
+        p99_tpot=percentile(tpot_values, 99.0),
+        load_imbalance=load_imbalance(per_replica_tokens),
+    )

@@ -14,7 +14,7 @@ Schedulers also receive lifecycle callbacks so that history-based policies
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.engine.request import Request
 

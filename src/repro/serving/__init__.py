@@ -1,7 +1,19 @@
-"""Serving-system substrate: SLA specs, client models, the simulator loop."""
+"""Serving-system substrate: SLA specs, clients, simulator loops, routing."""
 
 from repro.serving.clients import Arrival, ClosedLoopClientPool, OpenLoopArrivals
-from repro.serving.results import RunResult
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.results import ClusterResult, RunResult
+from repro.serving.routing import (
+    ROUTER_REGISTRY,
+    LeastKVLoadRouter,
+    LeastOutstandingRouter,
+    MemoryAwareRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    available_routers,
+    create_router,
+)
 from repro.serving.server import ServingSimulator, SimulationLimits
 from repro.serving.sla import SLA_LARGE_MODEL, SLA_SMALL_MODEL, SLASpec, sla_for_model
 
@@ -9,7 +21,18 @@ __all__ = [
     "Arrival",
     "ClosedLoopClientPool",
     "OpenLoopArrivals",
+    "ClusterSimulator",
+    "ClusterResult",
     "RunResult",
+    "ROUTER_REGISTRY",
+    "LeastKVLoadRouter",
+    "LeastOutstandingRouter",
+    "MemoryAwareRouter",
+    "ReplicaSnapshot",
+    "RoundRobinRouter",
+    "Router",
+    "available_routers",
+    "create_router",
     "ServingSimulator",
     "SimulationLimits",
     "SLA_LARGE_MODEL",

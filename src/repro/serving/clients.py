@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
-import numpy as np
-
+from repro.workloads.arrivals import assign_poisson_arrivals
 from repro.workloads.spec import RequestSpec, Workload
 
 
@@ -119,13 +118,11 @@ class OpenLoopArrivals:
     ) -> None:
         self._arrivals: list[Arrival] = []
         if request_rate is not None:
-            if request_rate <= 0:
-                raise ValueError("request_rate must be positive")
-            rng = np.random.default_rng(seed)
-            gaps = rng.exponential(scale=1.0 / request_rate, size=len(workload))
-            times = np.cumsum(gaps)
-            for index, (spec, time) in enumerate(zip(workload.requests, times)):
-                self._arrivals.append(Arrival(time=float(time), sequence=index, spec=spec))
+            # Single source of truth for Poisson stamping; replaying the
+            # stamped workload gives the identical trace.
+            stamped = assign_poisson_arrivals(workload, request_rate, seed=seed)
+            for index, spec in enumerate(stamped.requests):
+                self._arrivals.append(Arrival(time=spec.arrival_time, sequence=index, spec=spec))
         else:
             for index, spec in enumerate(workload.requests):
                 if spec.arrival_time is None:

@@ -1,0 +1,295 @@
+"""Multi-replica cluster serving: N engines behind a request router.
+
+The single-engine :class:`~repro.serving.server.ServingSimulator` answers the
+paper's question — does past-future admission control raise one engine's
+goodput?  A production deployment runs a *fleet* of such engines behind a
+router, and the same per-replica signal the scheduler uses (predicted future
+memory) becomes a placement signal: send each arriving request to the replica
+whose batch has the most predicted headroom.
+
+:class:`ClusterSimulator` owns ``num_replicas`` independent
+:class:`~repro.engine.engine.InferenceEngine` instances — each with its own
+admission scheduler and KV-cache pool — plus one
+:class:`~repro.serving.routing.Router`.  The simulation is event-driven over
+two event types:
+
+1. **arrival** — the next request of the load generator arrives; the router
+   inspects a :class:`~repro.serving.routing.ReplicaSnapshot` per replica and
+   the request joins the chosen replica's waiting queue (or is rejected when
+   every replica is saturated and admission control is on);
+2. **replica step** — the replica with the earliest local clock among those
+   with work runs one continuous-batching iteration, advancing its clock by
+   the iteration's modelled latency.
+
+Replica clocks advance independently (real replicas do not share a decode
+cadence); the fleet makespan is the latest replica clock when the run drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.cost_model import CostModel
+from repro.engine.engine import InferenceEngine
+from repro.engine.eviction import EvictionPolicy
+from repro.engine.request import Request
+from repro.hardware.platform import Platform
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import create_scheduler
+from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
+from repro.serving.results import ClusterResult, RunResult
+from repro.serving.routing import ReplicaSnapshot, Router, create_router
+from repro.serving.server import LoadGenerator, SimulationLimits
+from repro.workloads.spec import RequestSpec, Workload
+
+
+@dataclass
+class _Replica:
+    """One engine plus the cluster-side bookkeeping around it."""
+
+    index: int
+    engine: InferenceEngine
+    clock: float = 0.0
+    idle_streak: int = 0
+    requests: list[Request] = field(default_factory=list)
+
+    def snapshot(self) -> ReplicaSnapshot:
+        """Scheduler-visible state handed to the router."""
+        engine = self.engine
+        running = list(engine.batch)
+        waiting = list(engine.waiting)
+        return ReplicaSnapshot(
+            replica_id=self.index,
+            token_capacity=engine.token_capacity,
+            used_tokens=engine.pool.used_tokens,
+            running_current_tokens=tuple(r.current_context_tokens for r in running),
+            running_generated_tokens=tuple(r.generated_tokens for r in running),
+            waiting_prompt_tokens=tuple(r.current_context_tokens for r in waiting),
+            running_remaining_cap_tokens=tuple(r.remaining_cap_tokens for r in running),
+            waiting_generated_tokens=tuple(r.generated_tokens for r in waiting),
+            waiting_remaining_cap_tokens=tuple(r.remaining_cap_tokens for r in waiting),
+        )
+
+
+class ClusterSimulator:
+    """Drives a fleet of inference engines behind a request router.
+
+    Args:
+        platform: deployment target of every replica (homogeneous fleet).
+        num_replicas: number of independent engines.
+        router: placement policy, as a :class:`Router` instance or a registry
+            name (``round-robin``, ``least-outstanding``, ``least-kv-load``,
+            ``memory-aware``).
+        scheduler_name: per-replica admission scheduler registry name; each
+            replica gets its *own* scheduler instance so history-based
+            policies learn only from their replica's completions.
+        scheduler_kwargs: forwarded to every scheduler constructor.
+        scheduler_factory: overrides ``scheduler_name``/``scheduler_kwargs``
+            with an arbitrary per-replica scheduler builder.
+        eviction_policy_factory: per-replica eviction policy builder
+            (engines must not share mutable policy state).
+        block_size: KV-cache block size in tokens.
+        chunked_prefill_tokens: per-iteration prefill-token cap per replica.
+        token_capacity_override: replaces each replica's KV token capacity
+            (scaled experiments).
+        reject_when_saturated: when every replica is saturated, turn new
+            arrivals away instead of queueing them (cluster-level admission
+            control); rejected requests never execute but are reported.
+        limits: safety bounds over the whole fleet (``max_steps`` counts
+            iterations summed across replicas).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        num_replicas: int,
+        router: Router | str,
+        scheduler_name: str = "past-future",
+        scheduler_kwargs: dict | None = None,
+        scheduler_factory: Callable[[], Scheduler] | None = None,
+        eviction_policy_factory: Callable[[], EvictionPolicy] | None = None,
+        cost_model: CostModel | None = None,
+        block_size: int = 1,
+        chunked_prefill_tokens: int | None = None,
+        token_capacity_override: int | None = None,
+        reject_when_saturated: bool = False,
+        limits: SimulationLimits | None = None,
+    ) -> None:
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        self.platform = platform
+        self.router = create_router(router) if isinstance(router, str) else router
+        self.reject_when_saturated = reject_when_saturated
+        self.limits = limits or SimulationLimits()
+        if scheduler_factory is None:
+            kwargs = dict(scheduler_kwargs or {})
+
+            def scheduler_factory() -> Scheduler:
+                return create_scheduler(scheduler_name, **kwargs)
+
+        self.replicas: list[_Replica] = [
+            _Replica(
+                index=index,
+                engine=InferenceEngine(
+                    platform=platform,
+                    scheduler=scheduler_factory(),
+                    cost_model=cost_model,
+                    eviction_policy=eviction_policy_factory() if eviction_policy_factory else None,
+                    block_size=block_size,
+                    chunked_prefill_tokens=chunked_prefill_tokens,
+                    token_capacity_override=token_capacity_override,
+                ),
+            )
+            for index in range(num_replicas)
+        ]
+        self.rejected: list[Request] = []
+        self._deferred_releases = 0
+        self._consumed = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_replicas(self) -> int:
+        """Number of engines in the fleet."""
+        return len(self.replicas)
+
+    def snapshots(self) -> list[ReplicaSnapshot]:
+        """Current router-visible state of every replica."""
+        return [replica.snapshot() for replica in self.replicas]
+
+    # ---------------------------------------------------------------- routing
+    def _route_arrival(self, spec: RequestSpec, now: float) -> None:
+        request = Request(
+            spec=spec,
+            arrival_time=spec.arrival_time if spec.arrival_time is not None else now,
+        )
+        snapshots = self.snapshots()
+        if self.reject_when_saturated and all(s.saturated for s in snapshots):
+            self.rejected.append(request)
+            # The client's slot must be released or a closed-loop pool would
+            # deadlock — but not at this same instant: snapshots only change
+            # when a replica steps, so an immediate release would re-inject
+            # (and re-reject) the client's next request in a zero-time
+            # cascade.  Release it after the next completed iteration, when
+            # the fleet has actually made progress.
+            self._deferred_releases += 1
+            return
+        replica_id = self.router.select_replica(spec, snapshots)
+        if not 0 <= replica_id < len(self.replicas):
+            raise RuntimeError(
+                f"router {self.router.name!r} returned invalid replica {replica_id}"
+            )
+        replica = self.replicas[replica_id]
+        if not replica.engine.has_work():
+            # An idle replica resumes at the arrival instant; a busy one keeps
+            # its clock and picks the request up at its next iteration.
+            replica.clock = max(replica.clock, now)
+        replica.requests.append(request)
+        replica.engine.submit(request)
+
+    # ---------------------------------------------------------------- running
+    def _run(self, generator: LoadGenerator, workload_name: str, num_clients: int) -> ClusterResult:
+        # Engines accumulate state (stats, timelines, scheduler history), so a
+        # simulator drives exactly one run; build a fresh one per experiment.
+        if self._consumed:
+            raise RuntimeError("ClusterSimulator instances are single-use; build a new one per run")
+        self._consumed = True
+        generator.start(0.0)
+        self.router.on_run_start()
+        completed = True
+        total_steps = 0
+
+        while True:
+            next_arrival = generator.next_arrival_time()
+            busy = [r for r in self.replicas if r.engine.has_work()]
+            step_replica = min(busy, key=lambda r: (r.clock, r.index)) if busy else None
+
+            # Arrivals at or before the next step instant are injected first,
+            # matching ServingSimulator's "arrivals <= now join this batch".
+            if next_arrival is not None and (step_replica is None or next_arrival <= step_replica.clock):
+                for spec in generator.pop_arrivals(next_arrival):
+                    self._route_arrival(spec, next_arrival)
+                continue
+
+            if step_replica is None:
+                # No resident work and no future arrivals: the run is drained
+                # (or a closed-loop pool's remaining clients were rejected).
+                break
+
+            result = step_replica.engine.step(step_replica.clock)
+            if result.duration > 0:
+                step_replica.clock = result.end_time
+            for request in result.finished:
+                generator.on_request_finished(step_replica.clock)
+                self.router.on_request_finished(request, step_replica.clock)
+            # Client slots freed by rejections are released only once some
+            # replica can route again (rejection implies every replica was
+            # busy, so steps keep coming until that happens) — immediate
+            # release would just feed the next request into the same
+            # saturated fleet.
+            if self._deferred_releases and not all(s.saturated for s in self.snapshots()):
+                while self._deferred_releases:
+                    self._deferred_releases -= 1
+                    generator.on_request_finished(step_replica.clock)
+
+            # Stall guard, per replica: repeated idle iterations with waiting
+            # requests mean no admission is possible (see ServingSimulator).
+            if result.was_idle:
+                step_replica.idle_streak += 1
+                if step_replica.idle_streak >= 3:
+                    completed = False
+                    break
+            else:
+                step_replica.idle_streak = 0
+
+            total_steps += 1
+            if total_steps >= self.limits.max_steps or step_replica.clock >= self.limits.max_time:
+                completed = False
+                break
+
+        makespan = max((r.clock for r in self.replicas), default=0.0)
+        replica_results = [
+            RunResult(
+                scheduler=replica.engine.scheduler.describe(),
+                workload=workload_name,
+                platform=self.platform.describe(),
+                num_clients=num_clients,
+                duration=replica.clock,
+                requests=replica.requests,
+                engine_stats=replica.engine.stats,
+                memory_timeline=replica.engine.memory_timeline,
+                token_capacity=replica.engine.token_capacity,
+                completed=completed,
+            )
+            for replica in self.replicas
+        ]
+        return ClusterResult(
+            router=self.router.describe(),
+            workload=workload_name,
+            platform=self.platform.describe(),
+            num_replicas=self.num_replicas,
+            duration=makespan,
+            replicas=replica_results,
+            rejected=list(self.rejected),
+            completed=completed,
+        )
+
+    def run_closed_loop(
+        self,
+        workload: Workload,
+        num_clients: int,
+        think_time: float = 0.0,
+    ) -> ClusterResult:
+        """Serve a workload with a fleet-wide closed-loop client pool."""
+        pool = ClosedLoopClientPool(workload, num_clients=num_clients, think_time=think_time)
+        return self._run(pool, workload.name, num_clients)
+
+    def run_open_loop(
+        self,
+        workload: Workload,
+        request_rate: float | None = None,
+        seed: int = 0,
+    ) -> ClusterResult:
+        """Serve a workload with open-loop (Poisson, bursty, or recorded) arrivals."""
+        arrivals = OpenLoopArrivals(workload, request_rate=request_rate, seed=seed)
+        return self._run(arrivals, workload.name, num_clients=0)

@@ -1,0 +1,363 @@
+"""Request routers for multi-replica cluster serving.
+
+A :class:`Router` answers one question per arriving request: *which replica
+should serve it?*  The :class:`~repro.serving.cluster.ClusterSimulator` hands
+the router a :class:`ReplicaSnapshot` per replica — only scheduler-visible
+state (queue depths, KV occupancy, generated-so-far counts), never the hidden
+true output lengths — and expects back a replica index.
+
+Four policies are provided, in increasing order of awareness:
+
+* :class:`RoundRobinRouter` — cycles through replicas, load-blind;
+* :class:`LeastOutstandingRouter` — fewest in-flight (running + queued)
+  requests, the classic load-balancer heuristic;
+* :class:`LeastKVLoadRouter` — lowest fractional KV-cache occupancy counting
+  queued prompt demand, a memory-*present* policy;
+* :class:`MemoryAwareRouter` — largest predicted future-memory headroom.  It
+  maintains the same sliding output-length history the Past-Future scheduler
+  uses and evaluates each replica's peak future memory (Eq. 2–4 via
+  :func:`repro.core.future_memory.peak_future_memory_arrays`), so a replica
+  whose batch *will* balloon is avoided even while its present occupancy
+  still looks low.
+
+All routers break ties deterministically in favour of the lowest replica
+index, and skip saturated replicas unless every replica is saturated.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.future_memory import peak_future_memory_arrays
+from repro.core.history import OutputLengthHistory
+from repro.engine.request import Request
+from repro.workloads.spec import RequestSpec
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Scheduler-visible view of one replica at a routing decision.
+
+    Attributes:
+        replica_id: index of the replica within the cluster.
+        token_capacity: KV-cache token slots of the replica's platform.
+        used_tokens: token slots currently occupied by the running batch.
+        running_current_tokens: per running request, KV tokens held now
+            (prompt + generated).
+        running_generated_tokens: per running request, output tokens
+            generated so far (aligned with ``running_current_tokens``).
+        waiting_prompt_tokens: per queued request, the KV tokens it needs at
+            admission (prompt, plus regenerated tokens for evictees).
+        running_remaining_cap_tokens: per running request, output tokens its
+            ``max_new_tokens`` still allows; empty means unbounded.
+        waiting_generated_tokens: per queued request, output tokens already
+            generated before eviction; empty means all zero.
+        waiting_remaining_cap_tokens: per queued request, output tokens its
+            ``max_new_tokens`` still allows; empty means unbounded.
+    """
+
+    replica_id: int
+    token_capacity: int
+    used_tokens: int
+    running_current_tokens: tuple[int, ...] = ()
+    running_generated_tokens: tuple[int, ...] = ()
+    waiting_prompt_tokens: tuple[int, ...] = ()
+    running_remaining_cap_tokens: tuple[int, ...] = ()
+    waiting_generated_tokens: tuple[int, ...] = ()
+    waiting_remaining_cap_tokens: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.token_capacity <= 0:
+            raise ValueError("token_capacity must be positive")
+        if self.used_tokens < 0:
+            raise ValueError("used_tokens must be non-negative")
+        if len(self.running_current_tokens) != len(self.running_generated_tokens):
+            raise ValueError("running token arrays must be aligned")
+        for caps, reference in (
+            (self.running_remaining_cap_tokens, self.running_current_tokens),
+            (self.waiting_generated_tokens, self.waiting_prompt_tokens),
+            (self.waiting_remaining_cap_tokens, self.waiting_prompt_tokens),
+        ):
+            if caps and len(caps) != len(reference):
+                raise ValueError("optional per-request arrays must align with their queue")
+
+    @property
+    def num_running(self) -> int:
+        """Requests resident in the replica's KV cache."""
+        return len(self.running_current_tokens)
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued for admission on the replica."""
+        return len(self.waiting_prompt_tokens)
+
+    @property
+    def outstanding(self) -> int:
+        """In-flight requests: running plus queued."""
+        return self.num_running + self.num_waiting
+
+    @property
+    def free_tokens(self) -> int:
+        """Token slots not currently occupied."""
+        return self.token_capacity - self.used_tokens
+
+    @property
+    def queued_demand_tokens(self) -> int:
+        """Prompt tokens waiting to be admitted."""
+        return sum(self.waiting_prompt_tokens)
+
+    @property
+    def load_fraction(self) -> float:
+        """Occupied plus queued-prompt tokens as a fraction of capacity."""
+        return (self.used_tokens + self.queued_demand_tokens) / self.token_capacity
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the replica cannot absorb more work without stalling.
+
+        A replica counts as saturated when its resident KV tokens plus the
+        prompts already queued meet or exceed its capacity: any further
+        request would sit behind demand that already fills the pool.
+        """
+        return self.used_tokens + self.queued_demand_tokens >= self.token_capacity
+
+
+class Router(abc.ABC):
+    """Placement policy mapping an arriving request to a replica."""
+
+    #: human-readable policy name used in tables and figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        """Return the ``replica_id`` that should serve ``spec``.
+
+        Implementations must be deterministic given the same snapshots and
+        internal state, and must return the id of one of the snapshots.
+        """
+
+    # ------------------------------------------------------------- lifecycle
+    def on_run_start(self) -> None:
+        """Called once before a cluster run begins (reset mutable state)."""
+
+    def on_request_finished(self, request: Request, time: float) -> None:
+        """Called when any replica finishes a request (for learning policies)."""
+
+    # -------------------------------------------------------------- utilities
+    @staticmethod
+    def candidates(snapshots: Sequence[ReplicaSnapshot]) -> list[ReplicaSnapshot]:
+        """Routable replicas: the non-saturated ones, or all if none is free."""
+        if not snapshots:
+            raise ValueError("cannot route with zero replicas")
+        open_replicas = [s for s in snapshots if not s.saturated]
+        return open_replicas or list(snapshots)
+
+    def _pick_min(
+        self,
+        snapshots: Sequence[ReplicaSnapshot],
+        key: Callable[[ReplicaSnapshot], float],
+    ) -> int:
+        """Lowest-key candidate, ties broken by lowest replica id."""
+        best = min(self.candidates(snapshots), key=lambda s: (key(s), s.replica_id))
+        return best.replica_id
+
+    def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in index order, skipping saturated ones."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def on_run_start(self) -> None:
+        self._next = 0
+
+    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        eligible = {s.replica_id for s in self.candidates(snapshots)}
+        order = sorted(s.replica_id for s in snapshots)
+        # Walk the ring starting at the cursor until an eligible replica turns
+        # up; the candidates() fallback guarantees one exists.
+        for offset in range(len(order)):
+            replica_id = order[(self._next + offset) % len(order)]
+            if replica_id in eligible:
+                self._next = (self._next + offset + 1) % len(order)
+                return replica_id
+        raise AssertionError("candidates() returned no routable replica")
+
+
+class LeastOutstandingRouter(Router):
+    """Route to the replica with the fewest in-flight requests."""
+
+    name = "least-outstanding"
+
+    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        return self._pick_min(snapshots, lambda s: s.outstanding)
+
+
+class LeastKVLoadRouter(Router):
+    """Route to the replica with the lowest fractional KV-cache load.
+
+    Load counts both resident tokens and queued prompt demand, so a replica
+    with a deep admission queue is not mistaken for an empty one.
+    """
+
+    name = "least-kv-load"
+
+    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        return self._pick_min(snapshots, lambda s: s.load_fraction)
+
+
+class MemoryAwareRouter(Router):
+    """Route to the replica with the largest predicted future-memory headroom.
+
+    The router keeps the paper's sliding window of finished output lengths
+    (fleet-wide — every replica's completions feed one history) and, per
+    replica, predicts each in-flight request's remaining generation as the
+    conditional mean of the window above what the request has already
+    produced.  The replica's *predicted peak* future memory then follows from
+    Eq. 2–4, and the request goes wherever ``capacity − peak`` is largest.
+
+    Args:
+        window_size: sliding-window length (the paper uses 1000).
+        default_length: output length assumed before any request finishes.
+    """
+
+    name = "memory-aware"
+
+    def __init__(self, window_size: int = 1000, default_length: int = 2048) -> None:
+        self.history = OutputLengthHistory(window_size=window_size, default_length=default_length)
+
+    def on_run_start(self) -> None:
+        self.history.clear()
+
+    def on_request_finished(self, request: Request, time: float) -> None:
+        self.history.record(max(request.generated_tokens, 1))
+
+    # ------------------------------------------------------------ prediction
+    def _history_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted window and suffix sums, shared by one routing decision.
+
+        Built once per :meth:`select_replica` call — the history cannot
+        change between the per-replica headroom evaluations of a single
+        decision, and re-sorting the window per replica would dominate the
+        routing hot path.
+        """
+        lengths = np.sort(self.history.snapshot())
+        suffix_sums = np.concatenate([np.cumsum(lengths[::-1])[::-1], [0]])
+        return lengths, suffix_sums
+
+    def _expected_remaining(
+        self,
+        generated: np.ndarray,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Conditional-mean remaining output tokens given ``generated`` so far.
+
+        For each request the prediction is ``E[l | l > generated] −
+        generated`` over the historical window; requests that already exceed
+        every observed length fall back to one token (the most optimistic
+        consistent estimate, matching the Past-Future scheduler).
+        """
+        lengths, suffix_sums = table if table is not None else self._history_table()
+        starts = np.searchsorted(lengths, generated, side="right")
+        counts = lengths.size - starts
+        safe_counts = np.maximum(counts, 1)
+        conditional_mean = suffix_sums[starts] / safe_counts
+        expected_total = np.where(counts > 0, np.ceil(conditional_mean), generated + 1)
+        return np.maximum(expected_total.astype(np.int64) - generated, 1)
+
+    def predicted_peak_tokens(
+        self,
+        snapshot: ReplicaSnapshot,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> int:
+        """Predicted peak future memory of one replica's in-flight work."""
+        running_current = np.asarray(snapshot.running_current_tokens, dtype=np.int64)
+        running_generated = np.asarray(snapshot.running_generated_tokens, dtype=np.int64)
+        waiting_prompts = np.asarray(snapshot.waiting_prompt_tokens, dtype=np.int64)
+        current = np.concatenate([running_current, waiting_prompts])
+        if current.size == 0:
+            return 0
+        waiting_generated = (
+            np.asarray(snapshot.waiting_generated_tokens, dtype=np.int64)
+            if snapshot.waiting_generated_tokens
+            else np.zeros(waiting_prompts.size, dtype=np.int64)
+        )
+        generated = np.concatenate([running_generated, waiting_generated])
+        remaining = self._expected_remaining(generated, table)
+        # Clamp to each request's max_new_tokens budget, like the Past-Future
+        # scheduler: a 2048-token cold-start default must not predict growth
+        # a 128-cap request can never physically occupy.
+        caps = np.concatenate([
+            np.asarray(snapshot.running_remaining_cap_tokens, dtype=np.int64)
+            if snapshot.running_remaining_cap_tokens
+            else np.full(running_current.size, np.iinfo(np.int64).max),
+            np.asarray(snapshot.waiting_remaining_cap_tokens, dtype=np.int64)
+            if snapshot.waiting_remaining_cap_tokens
+            else np.full(waiting_prompts.size, np.iinfo(np.int64).max),
+        ])
+        remaining = np.maximum(np.minimum(remaining, caps), 1)
+        return peak_future_memory_arrays(current, remaining)
+
+    def headroom_tokens(
+        self,
+        snapshot: ReplicaSnapshot,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> int:
+        """Predicted future-memory headroom (can be negative when oversubscribed)."""
+        return snapshot.token_capacity - self.predicted_peak_tokens(snapshot, table)
+
+    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        table = self._history_table()
+        # Largest headroom == smallest negated headroom, so tie-breaking still
+        # favours the lowest replica id.
+        return self._pick_min(snapshots, lambda s: -self.headroom_tokens(s, table))
+
+    def describe(self) -> str:
+        return f"{self.name} (window={self.history.window_size})"
+
+
+RouterFactory = Callable[..., Router]
+
+ROUTER_REGISTRY: dict[str, RouterFactory] = {
+    "round-robin": RoundRobinRouter,
+    "least-outstanding": LeastOutstandingRouter,
+    "least-kv-load": LeastKVLoadRouter,
+    "memory-aware": MemoryAwareRouter,
+}
+
+
+def create_router(name: str, **kwargs) -> Router:
+    """Instantiate a router by registry name.
+
+    Args:
+        name: one of ``round-robin``, ``least-outstanding``,
+            ``least-kv-load``, ``memory-aware``.
+        **kwargs: forwarded to the router constructor (e.g. ``window_size``).
+
+    Raises:
+        KeyError: if the name is unknown.
+    """
+    try:
+        factory = ROUTER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTER_REGISTRY))
+        raise KeyError(f"unknown router {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available_routers() -> list[str]:
+    """Names of all registered routers."""
+    return sorted(ROUTER_REGISTRY)

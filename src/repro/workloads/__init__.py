@@ -1,5 +1,6 @@
 """Workload substrate: request specs and synthetic trace generators."""
 
+from repro.workloads.arrivals import assign_bursty_arrivals, assign_poisson_arrivals
 from repro.workloads.burstgpt import (
     API_ARCHETYPES,
     FIGURE3_TRACES,
@@ -32,6 +33,8 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "assign_bursty_arrivals",
+    "assign_poisson_arrivals",
     "API_ARCHETYPES",
     "FIGURE3_TRACES",
     "TaskArchetype",

@@ -1,0 +1,87 @@
+"""Arrival-time assignment for open-loop (trace replay) workloads.
+
+The single-engine experiments either let closed-loop clients pace themselves
+or draw plain Poisson arrivals inside
+:class:`~repro.serving.clients.OpenLoopArrivals`.  Fleet-level routing only
+becomes interesting under *bursty* traffic — production request streams arrive
+in waves (diurnal peaks, retry storms, batch jobs), and it is exactly during a
+burst that a router's placement decisions determine whether one replica melts
+while its neighbours idle.
+
+:func:`assign_bursty_arrivals` stamps a workload with arrival times drawn from
+an on/off modulated Poisson process: the trace alternates between quiet phases
+at ``base_rate`` and burst phases at ``burst_rate`` requests per second.  The
+stamped workload replays identically through
+:meth:`~repro.serving.cluster.ClusterSimulator.run_open_loop` for every router
+under comparison, so router effects are never confounded with arrival noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.workloads.spec import Workload
+
+
+def _stamp_exponential_gaps(workload: Workload, rates: np.ndarray, seed: int, note: str) -> Workload:
+    """Stamp arrival times from per-request exponential gaps at ``rates``."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0, size=len(workload)) / rates
+    times = np.cumsum(gaps)
+    requests = [
+        replace(spec, arrival_time=float(time))
+        for spec, time in zip(workload.requests, times)
+    ]
+    return Workload(
+        name=workload.name,
+        requests=requests,
+        description=f"{workload.description} ({note})",
+    )
+
+
+def assign_poisson_arrivals(workload: Workload, request_rate: float, seed: int = 0) -> Workload:
+    """Stamp a workload with Poisson arrival times at a constant rate."""
+    if request_rate <= 0:
+        raise ValueError("request_rate must be positive")
+    rates = np.full(len(workload), request_rate)
+    return _stamp_exponential_gaps(workload, rates, seed, f"poisson {request_rate:g} req/s")
+
+
+def assign_bursty_arrivals(
+    workload: Workload,
+    base_rate: float,
+    burst_rate: float,
+    burst_length: int = 32,
+    cycle_length: int = 64,
+    seed: int = 0,
+) -> Workload:
+    """Stamp a workload with on/off modulated Poisson arrival times.
+
+    Requests arrive in repeating cycles of ``cycle_length`` requests: the
+    first ``burst_length`` of each cycle draw inter-arrival gaps at
+    ``burst_rate`` (the wave), the remainder at ``base_rate`` (the lull).
+
+    Args:
+        workload: the requests to stamp, in submission order.
+        base_rate: arrival rate (requests/second) during quiet phases.
+        burst_rate: arrival rate during bursts; must exceed ``base_rate``.
+        burst_length: number of requests per cycle that arrive at burst rate.
+        cycle_length: total requests per quiet+burst cycle.
+        seed: RNG seed for the exponential gap draws.
+    """
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("arrival rates must be positive")
+    if burst_rate <= base_rate:
+        raise ValueError("burst_rate must exceed base_rate")
+    if not 0 < burst_length <= cycle_length:
+        raise ValueError("burst_length must be in (0, cycle_length]")
+    positions = np.arange(len(workload))
+    in_burst = (positions % cycle_length) < burst_length
+    rates = np.where(in_burst, burst_rate, base_rate)
+    note = (
+        f"bursty {base_rate:g}->{burst_rate:g} req/s, "
+        f"{burst_length}/{cycle_length} cycle"
+    )
+    return _stamp_exponential_gaps(workload, rates, seed, note)

@@ -167,9 +167,10 @@ def figure3_trace(label: str, num_requests: int, seed: int = 0) -> Workload:
         raise KeyError(f"unknown trace label {label!r}; known: {known}") from None
     if kind == "api":
         return generate_api_trace(num_requests, seed=seed, name=label)
-    # Vary the stationary parameters a little per panel so the panels are not
-    # identical copies of one another.
-    offset = abs(hash(label)) % 5
+    # Vary the stationary parameters per panel — keyed on the panel's position
+    # in the figure so every panel is distinct AND deterministic (str hash()
+    # is randomised per process; a modular digest collides between panels).
+    offset = list(FIGURE3_TRACES).index(label)
     return generate_conversation_trace(
         num_requests,
         seed=seed + offset,

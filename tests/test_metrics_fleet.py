@@ -1,0 +1,106 @@
+"""Tests for fleet-level metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.request import Request
+from repro.metrics.fleet import load_imbalance, summarize_fleet
+from repro.serving.sla import SLASpec
+from tests.conftest import make_spec
+
+SLA = SLASpec(ttft_limit=10.0, mtpot_limit=1.5)
+
+
+def finished_request(request_id: str, tokens: int = 4, gap: float = 0.1) -> Request:
+    """A request that generated ``tokens`` output tokens at a steady cadence."""
+    request = Request(spec=make_spec(request_id=request_id, output_length=tokens), arrival_time=0.0)
+    request.admit(0.0)
+    request.note_prefill(request.recompute_tokens)
+    for step in range(tokens):
+        request.deliver_token(0.1 + gap * step)
+    request.finish(0.1 + gap * (tokens - 1))
+    return request
+
+
+class TestLoadImbalance:
+    def test_balanced_fleet_is_zero(self):
+        assert load_imbalance([10.0, 10.0, 10.0, 10.0]) == 0.0
+
+    def test_idle_fleet_is_zero(self):
+        assert load_imbalance([0.0, 0.0]) == 0.0
+        assert load_imbalance([]) == 0.0
+
+    def test_known_coefficient_of_variation(self):
+        # loads (2, 4): mean 3, std 1 -> CV = 1/3.
+        assert load_imbalance([2.0, 4.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_skew_raises_imbalance(self):
+        assert load_imbalance([1.0, 1.0, 18.0]) > load_imbalance([5.0, 7.0, 8.0])
+
+
+class TestSummarizeFleet:
+    def test_counts_and_tokens(self):
+        per_replica = [
+            [finished_request("a", tokens=4), finished_request("b", tokens=4)],
+            [finished_request("c", tokens=8)],
+        ]
+        summary = summarize_fleet(per_replica, duration=10.0, sla=SLA, rejected=3)
+        assert summary.num_replicas == 2
+        assert summary.submitted_requests == 6
+        assert summary.rejected_requests == 3
+        assert summary.finished_requests == 3
+        assert summary.total_output_tokens == 16
+        assert summary.throughput == pytest.approx(1.6)
+
+    def test_goodput_counts_only_compliant(self):
+        # One request with a 2 s inter-token stall breaks the 1.5 s MTPOT SLA.
+        per_replica = [
+            [finished_request("ok", tokens=4)],
+            [finished_request("stalled", tokens=4, gap=2.0)],
+        ]
+        summary = summarize_fleet(per_replica, duration=10.0, sla=SLA)
+        assert summary.goodput == pytest.approx(0.4)
+        assert summary.throughput == pytest.approx(0.8)
+        assert summary.sla_attainment == pytest.approx(0.5)
+
+    def test_latency_percentiles_cover_all_replicas(self):
+        per_replica = [
+            [finished_request("fast", tokens=4, gap=0.05)],
+            [finished_request("slow", tokens=4, gap=0.4)],
+        ]
+        summary = summarize_fleet(per_replica, duration=5.0, sla=SLA)
+        assert summary.p99_tpot > summary.p50_tpot
+        assert summary.p50_ttft == pytest.approx(0.1)
+
+    def test_imbalance_from_finished_tokens(self):
+        per_replica = [
+            [finished_request("a", tokens=2)],
+            [finished_request("b", tokens=6)],
+        ]
+        summary = summarize_fleet(per_replica, duration=5.0, sla=SLA)
+        assert summary.load_imbalance == pytest.approx(0.5)
+
+    def test_empty_fleet(self):
+        summary = summarize_fleet([[], []], duration=0.0, sla=SLA)
+        assert summary.finished_requests == 0
+        assert summary.goodput == 0.0
+        assert summary.load_imbalance == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_fleet([[]], duration=-1.0, sla=SLA)
+
+    def test_as_row_is_render_table_ready(self):
+        summary = summarize_fleet([[finished_request("a")]], duration=1.0, sla=SLA)
+        row = summary.as_row()
+        assert set(row) == {
+            "replicas",
+            "goodput_tok_s",
+            "throughput_tok_s",
+            "sla_attainment",
+            "p99_ttft_s",
+            "p99_tpot_s",
+            "imbalance_cv",
+            "rejected",
+        }

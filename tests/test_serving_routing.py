@@ -1,0 +1,236 @@
+"""Unit tests for the cluster request routers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.request import Request
+from repro.serving.routing import (
+    LeastKVLoadRouter,
+    LeastOutstandingRouter,
+    MemoryAwareRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    available_routers,
+    create_router,
+)
+from tests.conftest import make_spec
+
+
+def snap(
+    replica_id: int,
+    capacity: int = 1000,
+    used: int = 0,
+    running: tuple[tuple[int, int], ...] = (),
+    waiting: tuple[int, ...] = (),
+) -> ReplicaSnapshot:
+    """Snapshot builder; ``running`` is (current_tokens, generated) pairs."""
+    return ReplicaSnapshot(
+        replica_id=replica_id,
+        token_capacity=capacity,
+        used_tokens=used,
+        running_current_tokens=tuple(c for c, _ in running),
+        running_generated_tokens=tuple(g for _, g in running),
+        waiting_prompt_tokens=waiting,
+    )
+
+
+SPEC = make_spec()
+
+
+class TestReplicaSnapshot:
+    def test_derived_counts(self):
+        snapshot = snap(0, capacity=100, used=40, running=((30, 10), (10, 2)), waiting=(20, 5))
+        assert snapshot.num_running == 2
+        assert snapshot.num_waiting == 2
+        assert snapshot.outstanding == 4
+        assert snapshot.free_tokens == 60
+        assert snapshot.queued_demand_tokens == 25
+        assert snapshot.load_fraction == pytest.approx(0.65)
+        assert not snapshot.saturated
+
+    def test_saturation_counts_queued_demand(self):
+        assert snap(0, capacity=100, used=60, waiting=(40,)).saturated
+        assert snap(0, capacity=100, used=100).saturated
+        assert not snap(0, capacity=100, used=60, waiting=(39,)).saturated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSnapshot(replica_id=0, token_capacity=0, used_tokens=0)
+        with pytest.raises(ValueError):
+            ReplicaSnapshot(replica_id=0, token_capacity=10, used_tokens=-1)
+        with pytest.raises(ValueError):
+            ReplicaSnapshot(
+                replica_id=0,
+                token_capacity=10,
+                used_tokens=0,
+                running_current_tokens=(1,),
+                running_generated_tokens=(),
+            )
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        router = RoundRobinRouter()
+        snapshots = [snap(i) for i in range(4)]
+        picks = [router.select_replica(SPEC, snapshots) for _ in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_skips_saturated_replica(self):
+        router = RoundRobinRouter()
+        snapshots = [snap(0), snap(1, capacity=10, used=10), snap(2), snap(3)]
+        picks = [router.select_replica(SPEC, snapshots) for _ in range(6)]
+        assert picks == [0, 2, 3, 0, 2, 3]
+
+    def test_all_saturated_falls_back_to_cycle(self):
+        router = RoundRobinRouter()
+        snapshots = [snap(i, capacity=10, used=10) for i in range(3)]
+        picks = [router.select_replica(SPEC, snapshots) for _ in range(4)]
+        assert picks == [0, 1, 2, 0]
+
+    def test_reset_on_run_start(self):
+        router = RoundRobinRouter()
+        snapshots = [snap(i) for i in range(3)]
+        assert router.select_replica(SPEC, snapshots) == 0
+        router.on_run_start()
+        assert router.select_replica(SPEC, snapshots) == 0
+
+
+class TestLeastOutstanding:
+    def test_picks_fewest_in_flight(self):
+        router = LeastOutstandingRouter()
+        snapshots = [
+            snap(0, running=((10, 1), (10, 1))),
+            snap(1, running=((10, 1),), waiting=(5, 5)),
+            snap(2, running=((10, 1),)),
+        ]
+        assert router.select_replica(SPEC, snapshots) == 2
+
+    def test_tie_breaks_to_lowest_id(self):
+        router = LeastOutstandingRouter()
+        snapshots = [snap(2), snap(0), snap(1)]
+        assert router.select_replica(SPEC, snapshots) == 0
+
+    def test_excludes_saturated(self):
+        router = LeastOutstandingRouter()
+        snapshots = [snap(0, capacity=10, used=10), snap(1, running=((10, 1),))]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+
+class TestLeastKVLoad:
+    def test_picks_lowest_load_fraction(self):
+        router = LeastKVLoadRouter()
+        snapshots = [snap(0, used=500), snap(1, used=200), snap(2, used=300)]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+    def test_counts_queued_demand(self):
+        router = LeastKVLoadRouter()
+        # Replica 1 looks emptier by resident tokens but has a deep queue.
+        snapshots = [snap(0, used=300), snap(1, used=100, waiting=(300,))]
+        assert router.select_replica(SPEC, snapshots) == 0
+
+    def test_tie_breaks_to_lowest_id(self):
+        router = LeastKVLoadRouter()
+        snapshots = [snap(1, used=100), snap(0, used=100)]
+        assert router.select_replica(SPEC, snapshots) == 0
+
+    def test_excludes_saturated(self):
+        router = LeastKVLoadRouter()
+        snapshots = [snap(0, capacity=100, used=100), snap(1, used=900)]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+
+class TestMemoryAware:
+    def test_prefers_largest_predicted_headroom(self):
+        router = MemoryAwareRouter(default_length=100)
+        # Same resident token count, but replica 0's requests are young (will
+        # generate ~100 more each) while replica 1's are near-complete.
+        snapshots = [
+            snap(0, used=400, running=((200, 2), (200, 2))),
+            snap(1, used=400, running=((200, 99), (200, 99))),
+        ]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+    def test_counts_waiting_queue_demand(self):
+        router = MemoryAwareRouter(default_length=100)
+        snapshots = [snap(0, waiting=(50, 50, 50)), snap(1, waiting=(50,))]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+    def test_empty_replica_has_full_headroom(self):
+        router = MemoryAwareRouter()
+        snapshots = [snap(0, used=10, running=((10, 1),)), snap(1)]
+        assert router.headroom_tokens(snapshots[1]) == snapshots[1].token_capacity
+        assert router.select_replica(SPEC, snapshots) == 1
+
+    def test_learns_from_finished_requests(self):
+        router = MemoryAwareRouter(default_length=1000)
+        snapshot = snap(0, used=100, running=((100, 10),))
+        pessimistic = router.predicted_peak_tokens(snapshot)
+        # Observing short completions shrinks the predicted remaining length.
+        for _ in range(50):
+            request = Request(spec=make_spec(output_length=16), arrival_time=0.0)
+            request.generated_tokens = 16
+            router.on_request_finished(request, time=1.0)
+        optimistic = router.predicted_peak_tokens(snapshot)
+        assert optimistic < pessimistic
+
+    def test_clamps_prediction_to_request_caps(self):
+        router = MemoryAwareRouter(default_length=2048)
+        base = dict(
+            replica_id=0,
+            token_capacity=1000,
+            used_tokens=200,
+            running_current_tokens=(100, 100),
+            running_generated_tokens=(4, 4),
+        )
+        uncapped = ReplicaSnapshot(**base)
+        capped = ReplicaSnapshot(**base, running_remaining_cap_tokens=(8, 8))
+        # Cold-start default of 2048 predicted tokens cannot exceed what the
+        # requests' max_new_tokens budgets physically allow.
+        assert router.predicted_peak_tokens(capped) == 216  # 200 + 2*8
+        assert router.predicted_peak_tokens(uncapped) > 1000
+
+    def test_history_cleared_on_run_start(self):
+        router = MemoryAwareRouter(default_length=1000)
+        request = Request(spec=make_spec(output_length=16), arrival_time=0.0)
+        request.generated_tokens = 16
+        router.on_request_finished(request, time=1.0)
+        assert len(router.history) == 1
+        router.on_run_start()
+        assert router.history.is_empty
+
+    def test_tie_breaks_to_lowest_id(self):
+        router = MemoryAwareRouter()
+        snapshots = [snap(1), snap(0)]
+        assert router.select_replica(SPEC, snapshots) == 0
+
+    def test_excludes_saturated(self):
+        router = MemoryAwareRouter()
+        snapshots = [snap(0, capacity=100, used=100), snap(1, capacity=100, used=90)]
+        assert router.select_replica(SPEC, snapshots) == 1
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert available_routers() == [
+            "least-kv-load",
+            "least-outstanding",
+            "memory-aware",
+            "round-robin",
+        ]
+
+    @pytest.mark.parametrize("name", ["round-robin", "least-outstanding", "least-kv-load", "memory-aware"])
+    def test_create_by_name(self, name):
+        assert create_router(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown router"):
+            create_router("random")
+
+    def test_kwargs_forwarded(self):
+        router = create_router("memory-aware", window_size=10)
+        assert router.history.window_size == 10
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError, match="zero replicas"):
+            LeastOutstandingRouter().select_replica(SPEC, [])

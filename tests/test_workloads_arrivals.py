@@ -1,0 +1,80 @@
+"""Tests for arrival-time assignment (Poisson and bursty traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import assign_bursty_arrivals, assign_poisson_arrivals
+from tests.conftest import make_workload
+
+
+class TestPoissonArrivals:
+    def test_stamps_every_request(self):
+        workload = assign_poisson_arrivals(make_workload(num_requests=50), request_rate=4.0, seed=1)
+        assert all(spec.arrival_time is not None for spec in workload)
+
+    def test_arrival_times_increase(self):
+        workload = assign_poisson_arrivals(make_workload(num_requests=50), request_rate=4.0, seed=1)
+        times = [spec.arrival_time for spec in workload]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_rate_controls_span(self):
+        fast = assign_poisson_arrivals(make_workload(num_requests=200), request_rate=20.0, seed=2)
+        slow = assign_poisson_arrivals(make_workload(num_requests=200), request_rate=2.0, seed=2)
+        assert fast.requests[-1].arrival_time < slow.requests[-1].arrival_time
+
+    def test_deterministic_per_seed(self):
+        first = assign_poisson_arrivals(make_workload(), request_rate=4.0, seed=3)
+        second = assign_poisson_arrivals(make_workload(), request_rate=4.0, seed=3)
+        assert [s.arrival_time for s in first] == [s.arrival_time for s in second]
+
+    def test_preserves_lengths_and_ids(self):
+        base = make_workload(num_requests=10)
+        stamped = assign_poisson_arrivals(base, request_rate=4.0)
+        assert [s.request_id for s in stamped] == [s.request_id for s in base]
+        assert [s.input_length for s in stamped] == [s.input_length for s in base]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            assign_poisson_arrivals(make_workload(), request_rate=0.0)
+
+
+class TestBurstyArrivals:
+    def test_arrival_times_increase(self):
+        workload = assign_bursty_arrivals(
+            make_workload(num_requests=128), base_rate=1.0, burst_rate=50.0, seed=5
+        )
+        times = [spec.arrival_time for spec in workload]
+        assert times == sorted(times)
+
+    def test_bursts_are_denser_than_lulls(self):
+        workload = assign_bursty_arrivals(
+            make_workload(num_requests=640),
+            base_rate=1.0,
+            burst_rate=100.0,
+            burst_length=32,
+            cycle_length=64,
+            seed=5,
+        )
+        times = np.array([spec.arrival_time for spec in workload])
+        gaps = np.diff(times)
+        positions = np.arange(1, len(times)) % 64
+        burst_gaps = gaps[positions < 32]
+        lull_gaps = gaps[positions >= 32]
+        assert burst_gaps.mean() < lull_gaps.mean() / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            assign_bursty_arrivals(make_workload(), base_rate=0.0, burst_rate=10.0)
+        with pytest.raises(ValueError, match="exceed"):
+            assign_bursty_arrivals(make_workload(), base_rate=10.0, burst_rate=5.0)
+        with pytest.raises(ValueError, match="burst_length"):
+            assign_bursty_arrivals(
+                make_workload(), base_rate=1.0, burst_rate=10.0, burst_length=9, cycle_length=8
+            )
+
+    def test_description_notes_burstiness(self):
+        workload = assign_bursty_arrivals(make_workload(), base_rate=1.0, burst_rate=10.0)
+        assert "bursty" in workload.description

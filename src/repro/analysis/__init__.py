@@ -1,5 +1,11 @@
 """Experiment drivers, sweeps, and text-table rendering."""
 
+from repro.analysis.autoscale_sweep import (
+    AutoscaleExperimentConfig,
+    autoscale_comparison_sweep,
+    autoscale_table,
+    run_autoscale_experiment,
+)
 from repro.analysis.cluster_sweep import (
     ClusterExperimentConfig,
     fleet_table,
@@ -27,6 +33,10 @@ from repro.analysis.sweep import (
 from repro.analysis.tables import render_curves, render_table
 
 __all__ = [
+    "AutoscaleExperimentConfig",
+    "autoscale_comparison_sweep",
+    "autoscale_table",
+    "run_autoscale_experiment",
     "ClusterExperimentConfig",
     "fleet_table",
     "router_comparison_sweep",

@@ -1,6 +1,13 @@
 """Metrics: latency, throughput/goodput, fleet aggregates, memory, similarity."""
 
-from repro.metrics.fleet import FleetSummary, load_imbalance, summarize_fleet
+from repro.metrics.fleet import (
+    FleetSizeSample,
+    FleetSummary,
+    ReplicaLifetime,
+    load_imbalance,
+    summarize_fleet,
+    total_replica_seconds,
+)
 from repro.metrics.goodput import (
     ThroughputSummary,
     evicted_request_fraction,
@@ -29,9 +36,12 @@ from repro.metrics.similarity import (
 )
 
 __all__ = [
+    "FleetSizeSample",
     "FleetSummary",
+    "ReplicaLifetime",
     "load_imbalance",
     "summarize_fleet",
+    "total_replica_seconds",
     "ThroughputSummary",
     "evicted_request_fraction",
     "eviction_rate",

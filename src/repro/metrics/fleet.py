@@ -6,10 +6,15 @@ planner actually compares across routing policies:
 
 * **goodput / throughput** over the fleet makespan,
 * **SLA attainment** — the fraction of finished requests meeting the SLA,
-* **p50/p99 TTFT and TPOT** across every request the fleet served, and
+* **p50/p99 TTFT and TPOT** across every request the fleet served,
 * **load imbalance** — the coefficient of variation of per-replica output
   tokens (0 = perfectly balanced; 1 means the standard deviation across
-  replicas equals the mean, i.e. severe skew).
+  replicas equals the mean, i.e. severe skew), and
+* **replica-seconds / goodput-per-replica-second** — the fleet-cost axis an
+  elastic deployment optimises: an autoscaled fleet (see
+  :mod:`repro.serving.autoscale`) pays only for the replica-seconds it
+  actually provisioned, so SLA-compliant tokens *per replica-second* is the
+  number that compares a burst-chasing fleet against a peak-provisioned one.
 """
 
 from __future__ import annotations
@@ -25,6 +30,55 @@ from repro.metrics.latency import finished_requests, mean_tpots, percentile, ttf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving imports metrics)
     from repro.serving.sla import SLASpec
+
+
+@dataclass(frozen=True)
+class ReplicaLifetime:
+    """Provisioned interval of one replica within a cluster run.
+
+    ``launched_at`` is when the replica was requested (warm-up included — a
+    booting replica costs money before it serves), ``ready_at`` is when it
+    became routable, and ``retired_at`` is when a drain completed; ``None``
+    means the replica was still provisioned when the run ended.
+    """
+
+    replica_id: int
+    launched_at: float
+    ready_at: float
+    retired_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.launched_at < 0:
+            raise ValueError("launched_at must be non-negative")
+        if self.ready_at < self.launched_at:
+            raise ValueError("ready_at must not precede launched_at")
+        if self.retired_at is not None and self.retired_at < self.launched_at:
+            raise ValueError("retired_at must not precede launched_at")
+
+    def seconds(self, end_time: float) -> float:
+        """Replica-seconds accrued by the end of the run at ``end_time``."""
+        end = self.retired_at if self.retired_at is not None else max(end_time, self.launched_at)
+        return end - self.launched_at
+
+
+@dataclass(frozen=True)
+class FleetSizeSample:
+    """Fleet composition at one instant of a cluster run."""
+
+    time: float
+    active: int
+    warming: int
+    draining: int
+
+    @property
+    def provisioned(self) -> int:
+        """Replicas currently paid for: routable plus booting."""
+        return self.active + self.warming
+
+
+def total_replica_seconds(lifetimes: Sequence[ReplicaLifetime], end_time: float) -> float:
+    """Replica-seconds the fleet accrued over a run ending at ``end_time``."""
+    return sum(lifetime.seconds(end_time) for lifetime in lifetimes)
 
 
 @dataclass(frozen=True)
@@ -45,12 +99,17 @@ class FleetSummary:
     p50_tpot: float
     p99_tpot: float
     load_imbalance: float
+    replica_seconds: float = 0.0
+    goodput_per_replica_second: float = 0.0
+    avg_fleet_size: float = 0.0
 
     def as_row(self) -> dict[str, object]:
         """Dictionary row for table rendering."""
         return {
             "replicas": self.num_replicas,
             "goodput_tok_s": round(self.goodput, 1),
+            "goodput_per_rs": round(self.goodput_per_replica_second, 2),
+            "replica_s": round(self.replica_seconds, 1),
             "throughput_tok_s": round(self.throughput, 1),
             "sla_attainment": f"{self.sla_attainment:.1%}",
             "p99_ttft_s": round(self.p99_ttft, 3),
@@ -63,14 +122,16 @@ class FleetSummary:
 def load_imbalance(per_replica_loads: Sequence[float]) -> float:
     """Coefficient of variation of per-replica load (0 = perfectly balanced).
 
-    An idle fleet (zero mean load) is balanced by definition, so it returns 0
-    rather than dividing by zero.
+    Degenerate fleets are balanced by definition rather than numerical
+    accidents: an empty or single-replica fleet has nothing to be imbalanced
+    against, and an idle fleet (zero or non-finite mean load) would otherwise
+    divide by zero.  All three return exactly 0.0.
     """
     loads = np.asarray(per_replica_loads, dtype=float)
-    if loads.size == 0:
+    if loads.size <= 1:
         return 0.0
     mean = loads.mean()
-    if mean <= 0:
+    if not np.isfinite(mean) or mean <= 0:
         return 0.0
     return float(loads.std() / mean)
 
@@ -80,6 +141,7 @@ def summarize_fleet(
     duration: float,
     sla: "SLASpec",
     rejected: int = 0,
+    replica_seconds: float | None = None,
 ) -> FleetSummary:
     """Aggregate per-replica request lists into one fleet summary.
 
@@ -89,9 +151,13 @@ def summarize_fleet(
         duration: fleet makespan in seconds.
         sla: the SLA deciding goodput credit and attainment.
         rejected: requests the router turned away before any replica saw them.
+        replica_seconds: provisioned replica-time of the run; defaults to a
+            static fleet (every replica alive for the whole makespan).
     """
     if duration < 0:
         raise ValueError("duration must be non-negative")
+    if replica_seconds is None:
+        replica_seconds = len(per_replica_requests) * duration
     all_requests: list[Request] = [r for replica in per_replica_requests for r in replica]
     throughput = summarize_throughput(all_requests, duration, sla)
     done = finished_requests(all_requests)
@@ -116,4 +182,11 @@ def summarize_fleet(
         p50_tpot=percentile(tpot_values, 50.0),
         p99_tpot=percentile(tpot_values, 99.0),
         load_imbalance=load_imbalance(per_replica_tokens),
+        replica_seconds=replica_seconds,
+        goodput_per_replica_second=(
+            throughput.goodput * duration / replica_seconds if replica_seconds > 0 else 0.0
+        ),
+        avg_fleet_size=(
+            replica_seconds / duration if duration > 0 else float(len(per_replica_requests))
+        ),
     )

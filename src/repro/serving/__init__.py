@@ -1,7 +1,19 @@
-"""Serving-system substrate: SLA specs, clients, simulator loops, routing."""
+"""Serving-system substrate: SLA specs, clients, simulators, routing, autoscaling."""
 
+from repro.serving.autoscale import (
+    AUTOSCALE_POLICY_REGISTRY,
+    AutoscaleDecision,
+    Autoscaler,
+    AutoscalerPolicy,
+    FleetView,
+    PredictivePolicy,
+    ReactivePolicy,
+    StaticPolicy,
+    available_autoscale_policies,
+    create_autoscale_policy,
+)
 from repro.serving.clients import Arrival, ClosedLoopClientPool, OpenLoopArrivals
-from repro.serving.cluster import ClusterSimulator
+from repro.serving.cluster import ClusterSimulator, ReplicaState
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.routing import (
     ROUTER_REGISTRY,
@@ -18,10 +30,21 @@ from repro.serving.server import ServingSimulator, SimulationLimits
 from repro.serving.sla import SLA_LARGE_MODEL, SLA_SMALL_MODEL, SLASpec, sla_for_model
 
 __all__ = [
+    "AUTOSCALE_POLICY_REGISTRY",
+    "AutoscaleDecision",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "FleetView",
+    "PredictivePolicy",
+    "ReactivePolicy",
+    "StaticPolicy",
+    "available_autoscale_policies",
+    "create_autoscale_policy",
     "Arrival",
     "ClosedLoopClientPool",
     "OpenLoopArrivals",
     "ClusterSimulator",
+    "ReplicaState",
     "ClusterResult",
     "RunResult",
     "ROUTER_REGISTRY",

@@ -1,4 +1,4 @@
-"""Multi-replica cluster serving: N engines behind a request router.
+"""Multi-replica cluster serving: an elastic fleet of engines behind a router.
 
 The single-engine :class:`~repro.serving.server.ServingSimulator` answers the
 paper's question — does past-future admission control raise one engine's
@@ -7,26 +7,39 @@ router, and the same per-replica signal the scheduler uses (predicted future
 memory) becomes a placement signal: send each arriving request to the replica
 whose batch has the most predicted headroom.
 
-:class:`ClusterSimulator` owns ``num_replicas`` independent
+:class:`ClusterSimulator` owns a dynamic set of independent
 :class:`~repro.engine.engine.InferenceEngine` instances — each with its own
 admission scheduler and KV-cache pool — plus one
-:class:`~repro.serving.routing.Router`.  The simulation is event-driven over
-two event types:
+:class:`~repro.serving.routing.Router` and, optionally, one
+:class:`~repro.serving.autoscale.Autoscaler` that grows and shrinks the fleet
+during the run.  The simulation is event-driven over four event types:
 
-1. **arrival** — the next request of the load generator arrives; the router
-   inspects a :class:`~repro.serving.routing.ReplicaSnapshot` per replica and
-   the request joins the chosen replica's waiting queue (or is rejected when
-   every replica is saturated and admission control is on);
-2. **replica step** — the replica with the earliest local clock among those
-   with work runs one continuous-batching iteration, advancing its clock by
-   the iteration's modelled latency.
+1. **warm-up completion** — a launched replica finishes its warm-up delay and
+   becomes routable;
+2. **autoscale decision** — the autoscaler evaluates its policy on the fixed
+   decision interval; scale-up launches warming replicas, scale-down drains
+   the least-loaded active replica (no new placements, resident work runs to
+   completion, then it retires);
+3. **arrival** — the next request of the load generator arrives; the router
+   inspects a :class:`~repro.serving.routing.ReplicaSnapshot` per *routable*
+   replica and the request joins the chosen replica's waiting queue (or is
+   rejected when every routable replica is saturated and admission control is
+   on);
+4. **replica step** — the replica with the earliest local clock among those
+   with work (active or draining) runs one continuous-batching iteration,
+   advancing its clock by the iteration's modelled latency.
 
 Replica clocks advance independently (real replicas do not share a decode
 cadence); the fleet makespan is the latest replica clock when the run drains.
+Replica ids are assigned at launch and never reused, so after any scale-down
+the routable id set is non-contiguous — routers must treat
+``ReplicaSnapshot.replica_id`` as an opaque key, and the simulator raises if
+a router returns the id of a warming, draining, or retired replica.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,13 +48,28 @@ from repro.engine.engine import InferenceEngine
 from repro.engine.eviction import EvictionPolicy
 from repro.engine.request import Request
 from repro.hardware.platform import Platform
+from repro.metrics.fleet import FleetSizeSample, ReplicaLifetime
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import create_scheduler
+from repro.serving.autoscale import Autoscaler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.routing import ReplicaSnapshot, Router, create_router
 from repro.serving.server import LoadGenerator, SimulationLimits
 from repro.workloads.spec import RequestSpec, Workload
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle of one replica inside the fleet."""
+
+    #: launched but still inside its warm-up delay; not routable.
+    WARMING = "warming"
+    #: routable and serving.
+    ACTIVE = "active"
+    #: finishing resident work before retiring; not routable.
+    DRAINING = "draining"
+    #: fully drained and released; accrues no further replica-seconds.
+    RETIRED = "retired"
 
 
 @dataclass
@@ -50,9 +78,32 @@ class _Replica:
 
     index: int
     engine: InferenceEngine
+    state: ReplicaState = ReplicaState.ACTIVE
+    launched_at: float = 0.0
+    ready_at: float = 0.0
+    retired_at: float | None = None
     clock: float = 0.0
     idle_streak: int = 0
     requests: list[Request] = field(default_factory=list)
+
+    @property
+    def routable(self) -> bool:
+        """Whether the router may place new work here."""
+        return self.state is ReplicaState.ACTIVE
+
+    @property
+    def steppable(self) -> bool:
+        """Whether the replica runs iterations (active or draining)."""
+        return self.state in (ReplicaState.ACTIVE, ReplicaState.DRAINING)
+
+    def lifetime(self) -> ReplicaLifetime:
+        """Provisioned interval for replica-seconds accounting."""
+        return ReplicaLifetime(
+            replica_id=self.index,
+            launched_at=self.launched_at,
+            ready_at=self.ready_at,
+            retired_at=self.retired_at,
+        )
 
     def snapshot(self) -> ReplicaSnapshot:
         """Scheduler-visible state handed to the router."""
@@ -73,11 +124,12 @@ class _Replica:
 
 
 class ClusterSimulator:
-    """Drives a fleet of inference engines behind a request router.
+    """Drives an (optionally elastic) fleet of inference engines.
 
     Args:
         platform: deployment target of every replica (homogeneous fleet).
-        num_replicas: number of independent engines.
+        num_replicas: initial number of independent engines; with an
+            ``autoscaler`` this is only the starting size.
         router: placement policy, as a :class:`Router` instance or a registry
             name (``round-robin``, ``least-outstanding``, ``least-kv-load``,
             ``memory-aware``).
@@ -86,16 +138,22 @@ class ClusterSimulator:
             policies learn only from their replica's completions.
         scheduler_kwargs: forwarded to every scheduler constructor.
         scheduler_factory: overrides ``scheduler_name``/``scheduler_kwargs``
-            with an arbitrary per-replica scheduler builder.
+            with an arbitrary per-replica scheduler builder (also used for
+            replicas launched mid-run by the autoscaler, which come up cold:
+            fresh engine, empty scheduler history).
         eviction_policy_factory: per-replica eviction policy builder
             (engines must not share mutable policy state).
         block_size: KV-cache block size in tokens.
         chunked_prefill_tokens: per-iteration prefill-token cap per replica.
         token_capacity_override: replaces each replica's KV token capacity
             (scaled experiments).
-        reject_when_saturated: when every replica is saturated, turn new
-            arrivals away instead of queueing them (cluster-level admission
-            control); rejected requests never execute but are reported.
+        reject_when_saturated: when every routable replica is saturated, turn
+            new arrivals away instead of queueing them (cluster-level
+            admission control); rejected requests never execute but are
+            reported.
+        autoscaler: elastic-fleet driver (see
+            :mod:`repro.serving.autoscale`); ``None`` keeps the fleet fixed
+            at ``num_replicas``.
         limits: safety bounds over the whole fleet (``max_steps`` counts
             iterations summed across replicas).
     """
@@ -114,13 +172,22 @@ class ClusterSimulator:
         chunked_prefill_tokens: int | None = None,
         token_capacity_override: int | None = None,
         reject_when_saturated: bool = False,
+        autoscaler: Autoscaler | None = None,
         limits: SimulationLimits | None = None,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if autoscaler is not None and not (
+            autoscaler.min_replicas <= num_replicas <= autoscaler.max_replicas
+        ):
+            raise ValueError(
+                "num_replicas must start within the autoscaler's "
+                f"[{autoscaler.min_replicas}, {autoscaler.max_replicas}] bounds"
+            )
         self.platform = platform
         self.router = create_router(router) if isinstance(router, str) else router
         self.reject_when_saturated = reject_when_saturated
+        self.autoscaler = autoscaler
         self.limits = limits or SimulationLimits()
         if scheduler_factory is None:
             kwargs = dict(scheduler_kwargs or {})
@@ -128,21 +195,16 @@ class ClusterSimulator:
             def scheduler_factory() -> Scheduler:
                 return create_scheduler(scheduler_name, **kwargs)
 
-        self.replicas: list[_Replica] = [
-            _Replica(
-                index=index,
-                engine=InferenceEngine(
-                    platform=platform,
-                    scheduler=scheduler_factory(),
-                    cost_model=cost_model,
-                    eviction_policy=eviction_policy_factory() if eviction_policy_factory else None,
-                    block_size=block_size,
-                    chunked_prefill_tokens=chunked_prefill_tokens,
-                    token_capacity_override=token_capacity_override,
-                ),
-            )
-            for index in range(num_replicas)
-        ]
+        self._scheduler_factory = scheduler_factory
+        self._eviction_policy_factory = eviction_policy_factory
+        self._cost_model = cost_model
+        self._block_size = block_size
+        self._chunked_prefill_tokens = chunked_prefill_tokens
+        self._token_capacity_override = token_capacity_override
+        self.replicas: list[_Replica] = []
+        self.fleet_timeline: list[FleetSizeSample] = []
+        for _ in range(num_replicas):
+            self._launch_replica(0.0, warmup_delay=0.0)
         self.rejected: list[Request] = []
         self._deferred_releases = 0
         self._consumed = False
@@ -150,12 +212,134 @@ class ClusterSimulator:
     # ------------------------------------------------------------------ state
     @property
     def num_replicas(self) -> int:
-        """Number of engines in the fleet."""
+        """Number of engines ever launched (including retired ones)."""
         return len(self.replicas)
 
+    @property
+    def active_replicas(self) -> list[_Replica]:
+        """Replicas the router may currently place work on."""
+        return [replica for replica in self.replicas if replica.routable]
+
+    @property
+    def num_active(self) -> int:
+        """Routable replicas right now."""
+        return len(self.active_replicas)
+
+    def _count(self, state: ReplicaState) -> int:
+        return sum(1 for replica in self.replicas if replica.state is state)
+
     def snapshots(self) -> list[ReplicaSnapshot]:
-        """Current router-visible state of every replica."""
-        return [replica.snapshot() for replica in self.replicas]
+        """Current router-visible state of every *routable* replica."""
+        return [replica.snapshot() for replica in self.active_replicas]
+
+    def _record_fleet_sample(self, time: float) -> None:
+        # Samples are recorded at event-processing times, which the loop
+        # visits in nondecreasing order; the clamp keeps the timeline
+        # monotonic even if a caller passes a replica's post-step clock.
+        if self.fleet_timeline:
+            time = max(time, self.fleet_timeline[-1].time)
+        sample = FleetSizeSample(
+            time=time,
+            active=self._count(ReplicaState.ACTIVE),
+            warming=self._count(ReplicaState.WARMING),
+            draining=self._count(ReplicaState.DRAINING),
+        )
+        if self.fleet_timeline and self.fleet_timeline[-1].time == time:
+            self.fleet_timeline[-1] = sample
+        else:
+            self.fleet_timeline.append(sample)
+
+    # ------------------------------------------------------------- elasticity
+    def _build_engine(self) -> InferenceEngine:
+        return InferenceEngine(
+            platform=self.platform,
+            scheduler=self._scheduler_factory(),
+            cost_model=self._cost_model,
+            eviction_policy=(
+                self._eviction_policy_factory() if self._eviction_policy_factory else None
+            ),
+            block_size=self._block_size,
+            chunked_prefill_tokens=self._chunked_prefill_tokens,
+            token_capacity_override=self._token_capacity_override,
+        )
+
+    def _launch_replica(self, time: float, warmup_delay: float) -> _Replica:
+        """Bring up one cold replica; routable after ``warmup_delay``."""
+        ready_at = time + warmup_delay
+        replica = _Replica(
+            index=len(self.replicas),
+            engine=self._build_engine(),
+            state=ReplicaState.ACTIVE if warmup_delay <= 0 else ReplicaState.WARMING,
+            launched_at=time,
+            ready_at=ready_at,
+            clock=ready_at if warmup_delay <= 0 else time,
+        )
+        self.replicas.append(replica)
+        self._record_fleet_sample(time)
+        return replica
+
+    def _activate_ready(self, time: float) -> None:
+        """Promote warming replicas whose warm-up delay has elapsed."""
+        changed = False
+        for replica in self.replicas:
+            if replica.state is ReplicaState.WARMING and replica.ready_at <= time:
+                replica.state = ReplicaState.ACTIVE
+                replica.clock = max(replica.clock, replica.ready_at)
+                changed = True
+        if changed:
+            self._record_fleet_sample(time)
+
+    def _retire(self, replica: _Replica, time: float) -> None:
+        replica.state = ReplicaState.RETIRED
+        replica.retired_at = max(replica.clock, time)
+        self._record_fleet_sample(time)
+
+    def _drain_replicas(self, count: int, time: float) -> None:
+        """Take ``count`` provisioned replicas out of the routable set.
+
+        Warming replicas are cancelled first (they hold no work); active ones
+        are drained least-outstanding-first, newest-first on ties, and at
+        least one active replica always remains so arrivals stay routable
+        while replacements warm up.  A drained replica accepts no new
+        placements but finishes every resident request before retiring.
+        """
+        warming = [r for r in self.replicas if r.state is ReplicaState.WARMING]
+        for replica in sorted(warming, key=lambda r: -r.index)[:count]:
+            self._retire(replica, time)
+            count -= 1
+        if count <= 0:
+            return
+        active = self.active_replicas
+        victims = sorted(
+            active,
+            key=lambda r: (r.engine.num_running + r.engine.num_waiting, -r.index),
+        )[: max(0, min(count, len(active) - 1))]
+        for replica in victims:
+            if replica.engine.has_work():
+                replica.state = ReplicaState.DRAINING
+                self._record_fleet_sample(time)
+            else:
+                self._retire(replica, time)
+
+    def _apply_autoscale_target(self, target: int, time: float) -> None:
+        provisioned = self._count(ReplicaState.ACTIVE) + self._count(ReplicaState.WARMING)
+        delta = target - provisioned
+        if delta > 0:
+            assert self.autoscaler is not None
+            for _ in range(delta):
+                self._launch_replica(time, warmup_delay=self.autoscaler.warmup_delay)
+        elif delta < 0:
+            self._drain_replicas(-delta, time)
+
+    def _run_autoscale_decision(self, time: float) -> None:
+        assert self.autoscaler is not None
+        target = self.autoscaler.evaluate(
+            time,
+            self.snapshots(),
+            num_warming=self._count(ReplicaState.WARMING),
+            num_draining=self._count(ReplicaState.DRAINING),
+        )
+        self._apply_autoscale_target(target, time)
 
     # ---------------------------------------------------------------- routing
     def _route_arrival(self, spec: RequestSpec, now: float) -> None:
@@ -163,7 +347,11 @@ class ClusterSimulator:
             spec=spec,
             arrival_time=spec.arrival_time if spec.arrival_time is not None else now,
         )
-        snapshots = self.snapshots()
+        routable = {replica.index: replica for replica in self.active_replicas}
+        snapshots = [replica.snapshot() for replica in routable.values()]
+        if self.autoscaler is not None and snapshots:
+            saturated = sum(1 for s in snapshots if s.saturated) / len(snapshots)
+            self.autoscaler.note_arrival(now, saturated, spec.prompt_tokens)
         if self.reject_when_saturated and all(s.saturated for s in snapshots):
             self.rejected.append(request)
             # The client's slot must be released or a closed-loop pool would
@@ -175,11 +363,19 @@ class ClusterSimulator:
             self._deferred_releases += 1
             return
         replica_id = self.router.select_replica(spec, snapshots)
-        if not 0 <= replica_id < len(self.replicas):
+        replica = routable.get(replica_id)
+        if replica is None:
+            known = next((r for r in self.replicas if r.index == replica_id), None)
+            if known is not None:
+                raise RuntimeError(
+                    f"router {self.router.name!r} returned replica {replica_id}, which is "
+                    f"{known.state.value} and must not receive new work; routable ids: "
+                    f"{sorted(routable)}"
+                )
             raise RuntimeError(
-                f"router {self.router.name!r} returned invalid replica {replica_id}"
+                f"router {self.router.name!r} returned invalid replica {replica_id}; "
+                f"routable ids: {sorted(routable)}"
             )
-        replica = self.replicas[replica_id]
         if not replica.engine.has_work():
             # An idle replica resumes at the arrival instant; a busy one keeps
             # its clock and picks the request up at its next iteration.
@@ -196,41 +392,76 @@ class ClusterSimulator:
         self._consumed = True
         generator.start(0.0)
         self.router.on_run_start()
+        if self.autoscaler is not None:
+            self.autoscaler.on_run_start()
         completed = True
         total_steps = 0
 
+        # Event priorities at equal times: warm-ups complete first (a replica
+        # ready at t may serve an arrival at t), decisions see the pre-arrival
+        # fleet, and arrivals join before the step at the same instant
+        # (matching ServingSimulator's "arrivals <= now join this batch").
+        READY, DECIDE, ARRIVAL, STEP = 0, 1, 2, 3
+
         while True:
             next_arrival = generator.next_arrival_time()
-            busy = [r for r in self.replicas if r.engine.has_work()]
+            busy = [r for r in self.replicas if r.steppable and r.engine.has_work()]
             step_replica = min(busy, key=lambda r: (r.clock, r.index)) if busy else None
 
-            # Arrivals at or before the next step instant are injected first,
-            # matching ServingSimulator's "arrivals <= now join this batch".
-            if next_arrival is not None and (step_replica is None or next_arrival <= step_replica.clock):
-                for spec in generator.pop_arrivals(next_arrival):
-                    self._route_arrival(spec, next_arrival)
-                continue
-
-            if step_replica is None:
+            if step_replica is None and next_arrival is None:
                 # No resident work and no future arrivals: the run is drained
                 # (or a closed-loop pool's remaining clients were rejected).
                 break
 
+            events: list[tuple[float, int]] = []
+            warming = [r for r in self.replicas if r.state is ReplicaState.WARMING]
+            if warming:
+                events.append((min(r.ready_at for r in warming), READY))
+            if self.autoscaler is not None:
+                events.append((self.autoscaler.next_decision_time, DECIDE))
+            if next_arrival is not None:
+                events.append((next_arrival, ARRIVAL))
+            if step_replica is not None:
+                events.append((step_replica.clock, STEP))
+            time, kind = min(events)
+
+            if kind == READY:
+                self._activate_ready(time)
+                continue
+            if kind == DECIDE:
+                self._run_autoscale_decision(time)
+                continue
+            if kind == ARRIVAL:
+                for spec in generator.pop_arrivals(time):
+                    self._route_arrival(spec, time)
+                continue
+
+            assert step_replica is not None
             result = step_replica.engine.step(step_replica.clock)
             if result.duration > 0:
                 step_replica.clock = result.end_time
             for request in result.finished:
                 generator.on_request_finished(step_replica.clock)
                 self.router.on_request_finished(request, step_replica.clock)
+                if self.autoscaler is not None:
+                    self.autoscaler.on_request_finished(request, step_replica.clock)
             # Client slots freed by rejections are released only once some
             # replica can route again (rejection implies every replica was
             # busy, so steps keep coming until that happens) — immediate
             # release would just feed the next request into the same
             # saturated fleet.
-            if self._deferred_releases and not all(s.saturated for s in self.snapshots()):
-                while self._deferred_releases:
-                    self._deferred_releases -= 1
-                    generator.on_request_finished(step_replica.clock)
+            if self._deferred_releases:
+                open_snapshots = self.snapshots()
+                if open_snapshots and not all(s.saturated for s in open_snapshots):
+                    while self._deferred_releases:
+                        self._deferred_releases -= 1
+                        generator.on_request_finished(step_replica.clock)
+
+            if step_replica.state is ReplicaState.DRAINING and not step_replica.engine.has_work():
+                # Drain complete: every resident request ran to completion.
+                # The timeline sample lands at the event time (step start);
+                # retirement itself is stamped with the step's end clock.
+                self._retire(step_replica, time)
 
             # Stall guard, per replica: repeated idle iterations with waiting
             # requests mean no admission is possible (see ServingSimulator).
@@ -248,6 +479,7 @@ class ClusterSimulator:
                 break
 
         makespan = max((r.clock for r in self.replicas), default=0.0)
+        self._record_fleet_sample(makespan)
         replica_results = [
             RunResult(
                 scheduler=replica.engine.scheduler.describe(),
@@ -272,6 +504,9 @@ class ClusterSimulator:
             replicas=replica_results,
             rejected=list(self.rejected),
             completed=completed,
+            autoscaler=self.autoscaler.describe() if self.autoscaler is not None else None,
+            fleet_timeline=list(self.fleet_timeline),
+            lifetimes=[replica.lifetime() for replica in self.replicas],
         )
 
     def run_closed_loop(

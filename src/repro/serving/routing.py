@@ -137,7 +137,15 @@ class Router(abc.ABC):
         """Return the ``replica_id`` that should serve ``spec``.
 
         Implementations must be deterministic given the same snapshots and
-        internal state, and must return the id of one of the snapshots.
+        internal state, and must return the ``replica_id`` of one of the
+        *given* snapshots.  With an elastic fleet (see
+        :mod:`repro.serving.autoscale`) the snapshot set changes between
+        calls and ids are not contiguous — replicas launch, warm up, drain,
+        and retire, and retired ids are never reused — so ids must be
+        treated as opaque keys, never as list indices.  The
+        :class:`~repro.serving.cluster.ClusterSimulator` raises
+        ``RuntimeError`` if a router returns an id that is absent from the
+        snapshots (e.g. a warming, draining, or retired replica).
         """
 
     # ------------------------------------------------------------- lifecycle
@@ -174,27 +182,30 @@ class Router(abc.ABC):
 
 
 class RoundRobinRouter(Router):
-    """Cycle through replicas in index order, skipping saturated ones."""
+    """Cycle through replicas in id order, skipping saturated ones.
+
+    The cursor remembers the last *id* served rather than a list position, so
+    the rotation survives an elastic fleet's churn: ids may appear, disappear,
+    and leave gaps between calls, and the ring is simply the sorted eligible
+    ids with wrap-around past the last one served.
+    """
 
     name = "round-robin"
 
     def __init__(self) -> None:
-        self._next = 0
+        self._last: int | None = None
 
     def on_run_start(self) -> None:
-        self._next = 0
+        self._last = None
 
     def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
-        eligible = {s.replica_id for s in self.candidates(snapshots)}
-        order = sorted(s.replica_id for s in snapshots)
-        # Walk the ring starting at the cursor until an eligible replica turns
-        # up; the candidates() fallback guarantees one exists.
-        for offset in range(len(order)):
-            replica_id = order[(self._next + offset) % len(order)]
-            if replica_id in eligible:
-                self._next = (self._next + offset + 1) % len(order)
-                return replica_id
-        raise AssertionError("candidates() returned no routable replica")
+        eligible = sorted(s.replica_id for s in self.candidates(snapshots))
+        chosen = next(
+            (replica_id for replica_id in eligible if self._last is None or replica_id > self._last),
+            eligible[0],
+        )
+        self._last = chosen
+        return chosen
 
 
 class LeastOutstandingRouter(Router):

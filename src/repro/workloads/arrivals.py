@@ -25,9 +25,10 @@ import numpy as np
 from repro.workloads.spec import Workload
 
 
-def _stamp_exponential_gaps(workload: Workload, rates: np.ndarray, seed: int, note: str) -> Workload:
+def _stamp_exponential_gaps(
+    workload: Workload, rates: np.ndarray, rng: np.random.Generator, note: str
+) -> Workload:
     """Stamp arrival times from per-request exponential gaps at ``rates``."""
-    rng = np.random.default_rng(seed)
     gaps = rng.exponential(scale=1.0, size=len(workload)) / rates
     times = np.cumsum(gaps)
     requests = [
@@ -41,12 +42,28 @@ def _stamp_exponential_gaps(workload: Workload, rates: np.ndarray, seed: int, no
     )
 
 
-def assign_poisson_arrivals(workload: Workload, request_rate: float, seed: int = 0) -> Workload:
-    """Stamp a workload with Poisson arrival times at a constant rate."""
+def assign_poisson_arrivals(
+    workload: Workload,
+    request_rate: float,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Stamp a workload with Poisson arrival times at a constant rate.
+
+    Args:
+        workload: the requests to stamp, in submission order.
+        request_rate: arrival rate in requests per second.
+        seed: seed for a fresh generator when ``rng`` is not given.
+        rng: an explicit :class:`numpy.random.Generator` to draw from; takes
+            precedence over ``seed``, letting experiments thread one seeded
+            generator through every stochastic stage for end-to-end
+            reproducibility.
+    """
     if request_rate <= 0:
         raise ValueError("request_rate must be positive")
     rates = np.full(len(workload), request_rate)
-    return _stamp_exponential_gaps(workload, rates, seed, f"poisson {request_rate:g} req/s")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    return _stamp_exponential_gaps(workload, rates, generator, f"poisson {request_rate:g} req/s")
 
 
 def assign_bursty_arrivals(
@@ -56,6 +73,7 @@ def assign_bursty_arrivals(
     burst_length: int = 32,
     cycle_length: int = 64,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> Workload:
     """Stamp a workload with on/off modulated Poisson arrival times.
 
@@ -69,7 +87,11 @@ def assign_bursty_arrivals(
         burst_rate: arrival rate during bursts; must exceed ``base_rate``.
         burst_length: number of requests per cycle that arrive at burst rate.
         cycle_length: total requests per quiet+burst cycle.
-        seed: RNG seed for the exponential gap draws.
+        seed: seed for a fresh generator when ``rng`` is not given.
+        rng: an explicit :class:`numpy.random.Generator` to draw the
+            exponential gaps from; takes precedence over ``seed`` so cluster
+            and autoscale experiments can share one seeded generator
+            end-to-end.
     """
     if base_rate <= 0 or burst_rate <= 0:
         raise ValueError("arrival rates must be positive")
@@ -84,4 +106,5 @@ def assign_bursty_arrivals(
         f"bursty {base_rate:g}->{burst_rate:g} req/s, "
         f"{burst_length}/{cycle_length} cycle"
     )
-    return _stamp_exponential_gaps(workload, rates, seed, note)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    return _stamp_exponential_gaps(workload, rates, generator, note)

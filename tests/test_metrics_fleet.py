@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.engine.request import Request
-from repro.metrics.fleet import load_imbalance, summarize_fleet
+from repro.metrics.fleet import (
+    FleetSizeSample,
+    ReplicaLifetime,
+    load_imbalance,
+    summarize_fleet,
+    total_replica_seconds,
+)
 from repro.serving.sla import SLASpec
 from tests.conftest import make_spec
 
@@ -37,6 +45,21 @@ class TestLoadImbalance:
 
     def test_skew_raises_imbalance(self):
         assert load_imbalance([1.0, 1.0, 18.0]) > load_imbalance([5.0, 7.0, 8.0])
+
+    def test_single_replica_fleet_is_zero(self):
+        # Regression: a one-replica fleet has nothing to be imbalanced
+        # against and must return exactly 0.0, loaded or idle.
+        assert load_imbalance([42.0]) == 0.0
+        assert load_imbalance([0.0]) == 0.0
+
+    def test_all_zero_loads_are_zero_not_nan(self):
+        result = load_imbalance([0.0, 0.0, 0.0, 0.0])
+        assert result == 0.0
+        assert not math.isnan(result)
+
+    def test_non_finite_mean_is_zero(self):
+        assert load_imbalance([float("nan"), 1.0]) == 0.0
+        assert load_imbalance([float("inf"), 1.0]) == 0.0
 
 
 class TestSummarizeFleet:
@@ -97,6 +120,8 @@ class TestSummarizeFleet:
         assert set(row) == {
             "replicas",
             "goodput_tok_s",
+            "goodput_per_rs",
+            "replica_s",
             "throughput_tok_s",
             "sla_attainment",
             "p99_ttft_s",
@@ -104,3 +129,53 @@ class TestSummarizeFleet:
             "imbalance_cv",
             "rejected",
         }
+
+    def test_replica_seconds_default_is_static_fleet(self):
+        summary = summarize_fleet([[finished_request("a")], []], duration=5.0, sla=SLA)
+        assert summary.replica_seconds == pytest.approx(10.0)
+        assert summary.avg_fleet_size == pytest.approx(2.0)
+        # goodput-per-replica-second = compliant tokens / replica-seconds.
+        assert summary.goodput_per_replica_second == pytest.approx(
+            summary.goodput * summary.duration / summary.replica_seconds
+        )
+
+    def test_explicit_replica_seconds_flow_through(self):
+        summary = summarize_fleet(
+            [[finished_request("a")], []], duration=5.0, sla=SLA, replica_seconds=6.0
+        )
+        assert summary.replica_seconds == pytest.approx(6.0)
+        assert summary.avg_fleet_size == pytest.approx(1.2)
+
+
+class TestReplicaLifetime:
+    def test_seconds_until_run_end_when_alive(self):
+        life = ReplicaLifetime(replica_id=0, launched_at=1.0, ready_at=2.0)
+        assert life.seconds(end_time=10.0) == pytest.approx(9.0)
+
+    def test_seconds_until_retirement(self):
+        life = ReplicaLifetime(replica_id=0, launched_at=1.0, ready_at=2.0, retired_at=4.0)
+        assert life.seconds(end_time=10.0) == pytest.approx(3.0)
+
+    def test_warming_past_run_end_accrues_nothing(self):
+        # A replica launched near the end may still be warming at makespan.
+        life = ReplicaLifetime(replica_id=0, launched_at=8.0, ready_at=11.0)
+        assert life.seconds(end_time=5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ready_at"):
+            ReplicaLifetime(replica_id=0, launched_at=2.0, ready_at=1.0)
+        with pytest.raises(ValueError, match="retired_at"):
+            ReplicaLifetime(replica_id=0, launched_at=2.0, ready_at=2.0, retired_at=1.0)
+
+    def test_total_replica_seconds(self):
+        lifetimes = [
+            ReplicaLifetime(replica_id=0, launched_at=0.0, ready_at=0.0),
+            ReplicaLifetime(replica_id=1, launched_at=0.0, ready_at=0.0, retired_at=4.0),
+        ]
+        assert total_replica_seconds(lifetimes, end_time=10.0) == pytest.approx(14.0)
+
+
+class TestFleetSizeSample:
+    def test_provisioned_counts_active_and_warming(self):
+        sample = FleetSizeSample(time=1.0, active=3, warming=2, draining=1)
+        assert sample.provisioned == 5

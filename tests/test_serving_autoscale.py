@@ -1,0 +1,518 @@
+"""Tests for the replica autoscaling subsystem (policies, driver, fleet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.autoscale import (
+    AUTOSCALE_POLICY_REGISTRY,
+    Autoscaler,
+    AutoscalerPolicy,
+    FleetView,
+    PredictivePolicy,
+    ReactivePolicy,
+    StaticPolicy,
+    available_autoscale_policies,
+    create_autoscale_policy,
+)
+from repro.serving.cluster import ClusterSimulator, ReplicaState
+from repro.serving.routing import ReplicaSnapshot, Router
+from repro.serving.sla import SLASpec
+from repro.workloads.arrivals import assign_bursty_arrivals
+from repro.workloads.spec import RequestSpec, Workload
+from tests.conftest import make_workload
+
+SLA = SLASpec(ttft_limit=10.0, mtpot_limit=1.5)
+
+
+def idle_snapshot(replica_id: int, capacity: int = 1000) -> ReplicaSnapshot:
+    return ReplicaSnapshot(replica_id=replica_id, token_capacity=capacity, used_tokens=0)
+
+
+def saturated_snapshot(replica_id: int, capacity: int = 1000) -> ReplicaSnapshot:
+    return ReplicaSnapshot(
+        replica_id=replica_id,
+        token_capacity=capacity,
+        used_tokens=capacity,
+        running_current_tokens=(capacity,),
+        running_generated_tokens=(4,),
+    )
+
+
+def view(
+    time: float = 0.0,
+    num_active: int = 2,
+    saturation_rate: float = 0.0,
+    arrival_rate: float = 0.0,
+    mean_arrival_tokens: float = 0.0,
+    num_warming: int = 0,
+    capacity: int = 1000,
+) -> FleetView:
+    return FleetView(
+        time=time,
+        snapshots=tuple(idle_snapshot(i, capacity) for i in range(num_active)),
+        num_warming=num_warming,
+        saturation_rate=saturation_rate,
+        arrival_rate=arrival_rate,
+        mean_arrival_tokens=mean_arrival_tokens,
+    )
+
+
+class SchedulePolicy(AutoscalerPolicy):
+    """Deterministic test policy: target size follows a (time, size) script."""
+
+    name = "schedule"
+
+    def __init__(self, schedule: list[tuple[float, int]]) -> None:
+        self.schedule = sorted(schedule)
+
+    def target_size(self, fleet_view: FleetView) -> int:
+        size = fleet_view.provisioned
+        for threshold, target in self.schedule:
+            if fleet_view.time >= threshold:
+                size = target
+        return size
+
+
+class FixedRouter(Router):
+    """Always returns the same replica id, valid or not."""
+
+    name = "fixed"
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+
+    def select_replica(self, spec, snapshots):
+        return self.replica_id
+
+
+def instant_workload(num_requests: int, prompt: int = 48, output: int = 64) -> Workload:
+    """All requests arrive at t=0 (maximum scaling pressure)."""
+    specs = [
+        RequestSpec(
+            request_id=f"a-{i}",
+            input_length=prompt,
+            output_length=output,
+            max_new_tokens=output,
+            arrival_time=0.0,
+        )
+        for i in range(num_requests)
+    ]
+    return Workload(name="autoscale-test", requests=specs)
+
+
+def make_cluster(platform_7b, autoscaler=None, num_replicas=3, router="round-robin", **kwargs):
+    return ClusterSimulator(
+        platform=platform_7b,
+        num_replicas=num_replicas,
+        router=router,
+        scheduler_name="conservative",
+        token_capacity_override=2048,
+        autoscaler=autoscaler,
+        **kwargs,
+    )
+
+
+class TestFleetView:
+    def test_counts_and_capacity(self):
+        v = view(num_active=3, num_warming=2)
+        assert v.num_active == 3
+        assert v.provisioned == 5
+        assert v.queued_requests == 0
+        assert v.replica_capacity == 1000
+
+    def test_saturated_fraction(self):
+        v = FleetView(
+            time=0.0, snapshots=(idle_snapshot(0), saturated_snapshot(1))
+        )
+        assert v.saturated_fraction == pytest.approx(0.5)
+
+    def test_empty_fleet_is_safe(self):
+        v = FleetView(time=0.0, snapshots=())
+        assert v.saturated_fraction == 0.0
+        assert v.replica_capacity == 0
+
+
+class TestStaticPolicy:
+    def test_holds_configured_size(self):
+        policy = StaticPolicy(size=4)
+        assert policy.target_size(view(num_active=2)) == 4
+
+    def test_defaults_to_current_size(self):
+        policy = StaticPolicy()
+        assert policy.target_size(view(num_active=3, num_warming=1)) == 4
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            StaticPolicy(size=0)
+
+
+class TestReactivePolicy:
+    def test_scales_up_on_saturation(self):
+        policy = ReactivePolicy(scale_up_threshold=0.5, cooldown=1.0)
+        policy.on_run_start()
+        assert policy.target_size(view(time=1.0, num_active=2, saturation_rate=0.8)) == 3
+
+    def test_scales_down_when_idle(self):
+        policy = ReactivePolicy(scale_down_threshold=0.05, cooldown=1.0)
+        policy.on_run_start()
+        assert policy.target_size(view(time=1.0, num_active=3, saturation_rate=0.0)) == 2
+
+    def test_holds_inside_hysteresis_band(self):
+        policy = ReactivePolicy(scale_up_threshold=0.5, scale_down_threshold=0.05)
+        policy.on_run_start()
+        assert policy.target_size(view(time=1.0, num_active=2, saturation_rate=0.3)) == 2
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        policy = ReactivePolicy(scale_up_threshold=0.5, cooldown=5.0)
+        policy.on_run_start()
+        assert policy.target_size(view(time=1.0, num_active=2, saturation_rate=1.0)) == 3
+        # Saturation persists, but the cooldown has not elapsed.
+        assert policy.target_size(view(time=3.0, num_active=3, saturation_rate=1.0)) == 3
+        assert policy.target_size(view(time=6.5, num_active=3, saturation_rate=1.0)) == 4
+
+    def test_queued_work_blocks_scale_down(self):
+        policy = ReactivePolicy(scale_down_threshold=0.05, cooldown=0.0)
+        policy.on_run_start()
+        queued = FleetView(
+            time=1.0,
+            snapshots=(
+                ReplicaSnapshot(
+                    replica_id=0,
+                    token_capacity=1000,
+                    used_tokens=0,
+                    waiting_prompt_tokens=(10,),
+                ),
+            ),
+            saturation_rate=0.0,
+        )
+        assert policy.target_size(queued) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            ReactivePolicy(scale_up_threshold=0.2, scale_down_threshold=0.5)
+        with pytest.raises(ValueError, match="step"):
+            ReactivePolicy(step=0)
+
+
+class TestPredictivePolicy:
+    def test_scales_up_from_arrival_forecast(self):
+        # Empty history -> expected output = default_length (100).  Forecast:
+        # 10 req/s * 1 s horizon * (50 + 100) tokens = 1500 tokens, which
+        # needs two 1000-token replicas at full utilisation.
+        policy = PredictivePolicy(target_utilization=1.0, horizon=1.0, default_length=100)
+        policy.on_run_start()
+        v = view(time=1.0, num_active=1, arrival_rate=10.0, mean_arrival_tokens=50.0)
+        assert policy.predicted_fleet_demand_tokens(v) == pytest.approx(1500.0)
+        assert policy.target_size(v) == 2
+
+    def test_resident_demand_counts_queued_prompts(self):
+        policy = PredictivePolicy(target_utilization=1.0, horizon=0.0, default_length=100)
+        policy.on_run_start()
+        loaded = FleetView(
+            time=1.0,
+            snapshots=(
+                ReplicaSnapshot(
+                    replica_id=0,
+                    token_capacity=1000,
+                    used_tokens=900,
+                    running_current_tokens=(900,),
+                    running_generated_tokens=(10,),
+                    waiting_prompt_tokens=(800, 800),
+                ),
+            ),
+        )
+        # The queued burst makes demand exceed one replica before saturation.
+        assert policy.predicted_fleet_demand_tokens(loaded) > 1000
+        assert policy.target_size(loaded) >= 2
+
+    def test_scale_down_is_stepwise_with_cooldown(self):
+        policy = PredictivePolicy(
+            target_utilization=1.0, horizon=0.0, default_length=100, scale_down_cooldown=5.0
+        )
+        policy.on_run_start()
+        idle = view(time=1.0, num_active=4)
+        assert policy.target_size(idle) == 3  # one step down, not straight to 1
+        assert policy.target_size(view(time=2.0, num_active=4)) == 4  # cooldown holds
+        assert policy.target_size(view(time=7.0, num_active=4)) == 3
+
+    def test_learns_from_finished_requests(self):
+        from repro.engine.request import Request
+        from tests.conftest import make_spec
+
+        policy = PredictivePolicy(default_length=1000)
+        policy.on_run_start()
+        request = Request(spec=make_spec(output_length=4), arrival_time=0.0)
+        request.admit(0.0)
+        request.note_prefill(request.recompute_tokens)
+        for step in range(4):
+            request.deliver_token(0.1 * (step + 1))
+        request.finish(0.4)
+        policy.on_request_finished(request, 0.4)
+        # The window now holds one real (short) observation, not the default.
+        assert policy._forecaster.history.mean() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target_utilization"):
+            PredictivePolicy(target_utilization=0.0)
+        with pytest.raises(ValueError, match="horizon"):
+            PredictivePolicy(horizon=-1.0)
+
+
+class TestRegistry:
+    def test_create_by_name(self):
+        assert isinstance(create_autoscale_policy("static"), StaticPolicy)
+        assert isinstance(create_autoscale_policy("reactive"), ReactivePolicy)
+        assert isinstance(create_autoscale_policy("predictive"), PredictivePolicy)
+
+    def test_kwargs_forwarded(self):
+        policy = create_autoscale_policy("reactive", cooldown=9.0)
+        assert policy.cooldown == 9.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown autoscale policy"):
+            create_autoscale_policy("magic")
+
+    def test_available_names(self):
+        assert available_autoscale_policies() == sorted(AUTOSCALE_POLICY_REGISTRY)
+
+
+class TestAutoscalerDriver:
+    def test_clamps_to_bounds(self):
+        autoscaler = Autoscaler(StaticPolicy(size=99), min_replicas=2, max_replicas=4)
+        autoscaler.on_run_start()
+        assert autoscaler.evaluate(1.0, [idle_snapshot(0)]) == 4
+        low = Autoscaler(StaticPolicy(size=1), min_replicas=2, max_replicas=4)
+        low.on_run_start()
+        assert low.evaluate(1.0, [idle_snapshot(0)]) == 2
+
+    def test_decision_cadence_advances(self):
+        autoscaler = Autoscaler(StaticPolicy(size=1), interval=2.0)
+        autoscaler.on_run_start()
+        assert autoscaler.next_decision_time == 2.0
+        autoscaler.evaluate(2.0, [idle_snapshot(0)])
+        assert autoscaler.next_decision_time == 4.0
+        # A late evaluation skips past every missed slot.
+        autoscaler.evaluate(9.0, [idle_snapshot(0)])
+        assert autoscaler.next_decision_time == 10.0
+
+    def test_arrival_window_statistics(self):
+        autoscaler = Autoscaler(StaticPolicy(size=1), sample_window=2.0)
+        autoscaler.on_run_start()
+        autoscaler.note_arrival(0.5, 1.0, 100)
+        autoscaler.note_arrival(1.0, 0.0, 200)
+        # Only 1.5 s have elapsed: the rate divides by the elapsed span, not
+        # the nominal 2 s window, so the opening burst is not diluted.
+        v = autoscaler.make_view(1.5, [idle_snapshot(0)])
+        assert v.saturation_rate == pytest.approx(0.5)
+        assert v.arrival_rate == pytest.approx(2 / 1.5)
+        assert v.mean_arrival_tokens == pytest.approx(150.0)
+        # Past one full window the nominal span applies...
+        autoscaler.note_arrival(3.5, 0.0, 100)
+        late = autoscaler.make_view(4.0, [idle_snapshot(0)])
+        assert late.arrival_rate == pytest.approx(1 / 2.0)
+        # ...and samples age out entirely.
+        stale = autoscaler.make_view(10.0, [idle_snapshot(0)])
+        assert stale.saturation_rate == 0.0
+        assert stale.arrival_rate == 0.0
+
+    def test_decisions_recorded(self):
+        autoscaler = Autoscaler(StaticPolicy(size=3), min_replicas=1, max_replicas=8)
+        autoscaler.on_run_start()
+        autoscaler.evaluate(1.0, [idle_snapshot(0), idle_snapshot(1)])
+        (decision,) = autoscaler.decisions
+        assert decision.target == 3
+        assert decision.provisioned == 2
+        assert decision.delta == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            Autoscaler(StaticPolicy(), interval=0.0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            Autoscaler(StaticPolicy(), min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError, match="warmup_delay"):
+            Autoscaler(StaticPolicy(), warmup_delay=-1.0)
+
+    def test_policy_by_registry_name(self):
+        autoscaler = Autoscaler("reactive")
+        assert isinstance(autoscaler.policy, ReactivePolicy)
+
+    def test_predictive_adopts_warmup_horizon(self):
+        autoscaler = Autoscaler(PredictivePolicy(), warmup_delay=7.0)
+        assert "horizon=7s" in autoscaler.policy.describe()
+
+
+class TestElasticCluster:
+    def test_initial_size_must_fit_bounds(self, platform_7b):
+        autoscaler = Autoscaler(StaticPolicy(), min_replicas=1, max_replicas=2)
+        with pytest.raises(ValueError, match="bounds"):
+            make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=5)
+
+    def test_scale_up_launches_warming_replicas(self, platform_7b):
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.0, 3)]), interval=0.5, max_replicas=4, warmup_delay=1.0
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=1)
+        result = cluster.run_open_loop(instant_workload(12))
+        assert result.completed
+        assert len(result.finished_requests) == 12
+        assert result.num_replicas == 3
+        # Replicas launched mid-run warmed up before serving.
+        for life in result.lifetimes[1:]:
+            assert life.ready_at == pytest.approx(life.launched_at + 1.0)
+
+    def test_warming_replica_receives_no_work(self, platform_7b):
+        # A replica that never finishes warming must never be routed to.
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.0, 2)]), interval=0.5, max_replicas=2, warmup_delay=1e6
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=1)
+        result = cluster.run_open_loop(instant_workload(8))
+        assert len(result.finished_requests) == 8
+        assert result.num_replicas == 2
+        assert result.replicas[1].requests == []
+
+    def test_scale_down_drains_without_dropping_work(self, platform_7b):
+        # Three replicas each pick up instant-burst work; at t=0.5 the fleet
+        # is told to shrink to one.  The drained replicas must finish every
+        # resident request before retiring, and nothing may be lost.
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.5, 1)]), interval=0.5, min_replicas=1, max_replicas=3
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=3)
+        result = cluster.run_open_loop(instant_workload(18))
+        assert result.completed
+        assert len(result.finished_requests) == 18
+        retired = [life for life in result.lifetimes if life.retired_at is not None]
+        assert retired, "the scale-down should have retired at least one replica"
+        for life in retired:
+            replica_result = result.replicas[life.replica_id]
+            assert replica_result.requests, "drained replicas held resident work"
+            assert all(r.is_finished for r in replica_result.requests)
+            assert all(r.finish_time <= life.retired_at for r in replica_result.requests)
+
+    def test_drained_replica_gets_no_new_placements(self, platform_7b):
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.5, 1)]), interval=0.5, min_replicas=1, max_replicas=3
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=3)
+        late = RequestSpec(
+            request_id="late",
+            input_length=48,
+            output_length=8,
+            max_new_tokens=8,
+            arrival_time=1.0,
+        )
+        workload = Workload(
+            name="drain-test", requests=list(instant_workload(18).requests) + [late]
+        )
+        result = cluster.run_open_loop(workload)
+        assert len(result.finished_requests) == 19
+        drained_ids = {life.replica_id for life in result.lifetimes if life.retired_at is not None}
+        late_request = next(
+            (i, r)
+            for i, replica in enumerate(result.replicas)
+            for r in replica.requests
+            if r.spec.request_id == "late"
+        )
+        assert late_request[0] not in drained_ids
+
+    def test_router_returning_unroutable_replica_raises(self, platform_7b):
+        cluster = make_cluster(platform_7b, router=FixedRouter(1), num_replicas=2)
+        cluster.replicas[1].state = ReplicaState.DRAINING
+        with pytest.raises(RuntimeError, match="draining and must not receive new work"):
+            cluster.run_open_loop(instant_workload(1))
+
+    def test_router_returning_retired_replica_raises(self, platform_7b):
+        cluster = make_cluster(platform_7b, router=FixedRouter(1), num_replicas=2)
+        cluster.replicas[1].state = ReplicaState.RETIRED
+        with pytest.raises(RuntimeError, match="retired and must not receive new work"):
+            cluster.run_open_loop(instant_workload(1))
+
+    def test_router_returning_unknown_replica_still_raises(self, platform_7b):
+        cluster = make_cluster(platform_7b, router=FixedRouter(99), num_replicas=2)
+        with pytest.raises(RuntimeError, match="invalid replica"):
+            cluster.run_open_loop(instant_workload(1))
+
+    def test_round_robin_survives_non_contiguous_fleet(self, platform_7b):
+        # Shrink 3 -> 2 then grow back to 3: the replacement gets a fresh id,
+        # so the routable set is non-contiguous, and round-robin must keep
+        # cycling without error.
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.25, 2), (1.5, 3)]),
+            interval=0.25,
+            min_replicas=1,
+            max_replicas=4,
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=3)
+        workload = assign_bursty_arrivals(
+            make_workload(num_requests=40), base_rate=5.0, burst_rate=50.0, seed=3
+        )
+        result = cluster.run_open_loop(workload)
+        assert result.completed
+        assert len(result.finished_requests) == 40
+        assert result.num_replicas >= 4  # a replacement replica was launched
+        retired_ids = {life.replica_id for life in result.lifetimes if life.retired_at is not None}
+        assert retired_ids, "the shrink phase should have retired a replica"
+
+    def test_fleet_timeline_and_replica_seconds(self, platform_7b):
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.5, 1)]), interval=0.5, min_replicas=1, max_replicas=3
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=3)
+        # An instant burst followed by a late tail only the survivor serves,
+        # so the makespan extends past the drained replicas' retirements.
+        tail = [
+            RequestSpec(
+                request_id=f"tail-{i}",
+                input_length=48,
+                output_length=16,
+                max_new_tokens=16,
+                arrival_time=3.0 + 0.1 * i,
+            )
+            for i in range(6)
+        ]
+        workload = Workload(
+            name="timeline-test", requests=list(instant_workload(18).requests) + tail
+        )
+        result = cluster.run_open_loop(workload)
+        times = [sample.time for sample in result.fleet_timeline]
+        assert times == sorted(times)
+        assert result.fleet_timeline[0].provisioned == 3
+        assert result.fleet_timeline[-1].active == 1
+        # The shrink must make the run cheaper than a static 3-replica fleet,
+        # but no cheaper than a single always-on replica.
+        assert result.duration < result.replica_seconds < 3 * result.duration
+        assert 1.0 < result.avg_fleet_size < 3.0
+        summary = result.fleet_summary(SLA)
+        assert summary.replica_seconds == pytest.approx(result.replica_seconds)
+        assert summary.goodput_per_replica_second == pytest.approx(
+            result.goodput_per_replica_second(SLA)
+        )
+
+    def test_static_fleet_replica_seconds_match_makespan(self, platform_7b):
+        cluster = make_cluster(platform_7b, num_replicas=2)
+        result = cluster.run_closed_loop(make_workload(num_requests=8), num_clients=2)
+        assert result.replica_seconds == pytest.approx(2 * result.duration)
+        assert result.avg_fleet_size == pytest.approx(2.0)
+
+    def test_goodput_per_replica_second_rewards_elasticity(self, platform_7b):
+        # Same trace, same router: a fleet that sheds two idle replicas must
+        # score at least as high per replica-second as the static fleet.
+        workload = instant_workload(18)
+        static = make_cluster(platform_7b, num_replicas=3).run_open_loop(workload)
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.5, 1)]), interval=0.5, min_replicas=1, max_replicas=3
+        )
+        elastic = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=3).run_open_loop(
+            instant_workload(18)
+        )
+        assert elastic.goodput_per_replica_second(SLA) >= static.goodput_per_replica_second(SLA)
+
+    def test_autoscaled_result_describes_policy(self, platform_7b):
+        autoscaler = Autoscaler(ReactivePolicy(), interval=0.5, max_replicas=3)
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=2)
+        result = cluster.run_open_loop(instant_workload(6))
+        assert result.autoscaler is not None
+        assert "reactive" in result.autoscaler
+        assert "autoscaled by" in result.describe()

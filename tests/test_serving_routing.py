@@ -95,6 +95,25 @@ class TestRoundRobin:
         router.on_run_start()
         assert router.select_replica(SPEC, snapshots) == 0
 
+    def test_cycles_over_non_contiguous_ids(self):
+        # Elastic fleets leave gaps in the id space (retired ids are never
+        # reused); the rotation must treat ids as opaque keys.
+        router = RoundRobinRouter()
+        snapshots = [snap(0), snap(2), snap(5)]
+        picks = [router.select_replica(SPEC, snapshots) for _ in range(5)]
+        assert picks == [0, 2, 5, 0, 2]
+
+    def test_survives_replica_set_churn(self):
+        # The replica last served may vanish between calls (drained or
+        # retired); the cursor then wraps within whatever set remains.
+        router = RoundRobinRouter()
+        assert router.select_replica(SPEC, [snap(0), snap(1), snap(2)]) == 0
+        assert router.select_replica(SPEC, [snap(0), snap(1), snap(2)]) == 1
+        # Replica 1 retires; a new replica 3 joins.
+        assert router.select_replica(SPEC, [snap(0), snap(2), snap(3)]) == 2
+        assert router.select_replica(SPEC, [snap(0), snap(2), snap(3)]) == 3
+        assert router.select_replica(SPEC, [snap(0), snap(2), snap(3)]) == 0
+
 
 class TestLeastOutstanding:
     def test_picks_fewest_in_flight(self):

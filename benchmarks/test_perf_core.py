@@ -1,0 +1,100 @@
+"""Perf-smoke: regenerate ``BENCH_core.json`` and guard the perf trajectory.
+
+Times the three core scenarios (single-engine fig07 sweep, fig10 cluster
+routing, fig11 autoscaling) under the event-jump fast path and the reference
+loop, verifies the two produce bit-identical metrics (the harness raises
+before any timing is reported otherwise), rewrites ``BENCH_core.json`` at the
+repo root, and fails when a scenario's measured speedup regresses more than
+2x against the committed baseline.
+
+Speedup (a ratio of two runs on the same machine) is compared rather than
+absolute seconds, so the check is robust to slow CI hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_PATH,
+    SCENARIOS,
+    measure_scenario,
+    run_benchmarks,
+    write_report,
+)
+
+#: Minimum acceptable speedup of the fast path over the in-repo reference
+#: loop, per scenario.  The committed BENCH_core.json numbers run well above
+#: these; the floors only catch the fast path breaking outright.
+SPEEDUP_FLOORS = {
+    "fig07_goodput_vs_clients": 2.0,
+    "fig10_cluster_routing": 3.0,
+    "fig11_autoscaling": 3.0,
+}
+
+#: A scenario may not regress more than this factor against the committed
+#: speedup before the job fails.
+MAX_REGRESSION = 2.0
+
+
+@pytest.fixture(scope="module")
+def committed_baseline() -> dict:
+    if not BENCH_PATH.exists():
+        return {}
+    return json.loads(BENCH_PATH.read_text()).get("scenarios", {})
+
+
+@pytest.fixture(scope="module")
+def fresh_report(committed_baseline, tmp_path_factory) -> dict:
+    # One measurement pass for the whole module; the equivalence check runs
+    # inside measure_scenario via run_benchmarks.  The tracked baseline is
+    # only overwritten on CI (whose artifact is the trajectory) or when a
+    # contributor opts in with PERF_UPDATE_BASELINE=1 — a casual local
+    # `pytest benchmarks` must not dirty BENCH_core.json with this machine's
+    # timings (a slower laptop would silently lower the regression bar).
+    report = run_benchmarks()
+    if os.environ.get("CI") or os.environ.get("PERF_UPDATE_BASELINE"):
+        path = write_report(report)
+    else:
+        path = write_report(report, tmp_path_factory.mktemp("perf") / "BENCH_core.json")
+    print(f"\n[perf report written to {path}]")
+    return report
+
+
+@pytest.mark.benchmark(group="perf-core")
+@pytest.mark.parametrize("scenario_name", [s.name for s in SCENARIOS])
+def test_perf_core_scenario(benchmark, fresh_report, committed_baseline, scenario_name):
+    entry = fresh_report["scenarios"][scenario_name]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update(entry)
+    print(
+        f"\n{scenario_name}: fast {entry['fast_seconds']}s vs reference "
+        f"{entry['reference_seconds']}s -> {entry['speedup']}x"
+    )
+
+    # The fast path must stay a real optimisation...
+    assert entry["speedup"] >= SPEEDUP_FLOORS[scenario_name]
+
+    # ...and must not regress badly against the committed trajectory.
+    committed = committed_baseline.get(scenario_name)
+    if committed:
+        assert entry["speedup"] * MAX_REGRESSION >= committed["speedup"], (
+            f"{scenario_name}: measured speedup {entry['speedup']}x regressed more than "
+            f"{MAX_REGRESSION}x against the committed {committed['speedup']}x"
+        )
+
+
+def test_measure_scenario_rejects_divergence(monkeypatch):
+    """The harness refuses to report timings for non-identical results."""
+    from repro.analysis import perf
+
+    scenario = perf.Scenario(
+        name="diverging",
+        description="fast and reference disagree",
+        run=lambda fast_path: (0.01, "fast" if fast_path else "reference"),
+    )
+    with pytest.raises(perf.FastPathDivergenceError):
+        measure_scenario(scenario)

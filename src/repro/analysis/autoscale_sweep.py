@@ -52,6 +52,8 @@ class AutoscaleExperimentConfig:
     token_capacity_override: int | None = None
     reject_when_saturated: bool = False
     limits: SimulationLimits = field(default_factory=SimulationLimits)
+    #: event-jump fast path; ``False`` bisects against the reference loop.
+    fast_path: bool = True
 
     def build_autoscaler(self, policy: AutoscalerPolicy | str, **policy_kwargs) -> Autoscaler:
         """Instantiate a fresh autoscaler around the given policy."""
@@ -90,6 +92,7 @@ class AutoscaleExperimentConfig:
             reject_when_saturated=self.reject_when_saturated,
             autoscaler=autoscaler,
             limits=self.limits,
+            fast_path=self.fast_path,
         )
 
     def default_sla(self) -> SLASpec:

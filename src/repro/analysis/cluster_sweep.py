@@ -33,6 +33,8 @@ class ClusterExperimentConfig:
     token_capacity_override: int | None = None
     reject_when_saturated: bool = False
     limits: SimulationLimits = field(default_factory=SimulationLimits)
+    #: event-jump fast path; ``False`` bisects against the reference loop.
+    fast_path: bool = True
 
     def build_simulator(self, router: Router | str) -> ClusterSimulator:
         """Instantiate a fresh fleet behind the given router."""
@@ -47,6 +49,7 @@ class ClusterExperimentConfig:
             token_capacity_override=self.token_capacity_override,
             reject_when_saturated=self.reject_when_saturated,
             limits=self.limits,
+            fast_path=self.fast_path,
         )
 
     def default_sla(self) -> SLASpec:

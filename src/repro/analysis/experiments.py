@@ -37,6 +37,8 @@ class ExperimentConfig:
     token_capacity_override: int | None = None
     speed_factor: float = 1.0
     limits: SimulationLimits = field(default_factory=SimulationLimits)
+    #: event-jump fast path; ``False`` bisects against the reference loop.
+    fast_path: bool = True
 
     def build_scheduler(self) -> Scheduler:
         """Instantiate the configured scheduler."""
@@ -77,6 +79,7 @@ def run_experiment(
         chunked_prefill_tokens=config.chunked_prefill_tokens,
         token_capacity_override=config.token_capacity_override,
         limits=config.limits,
+        fast_path=config.fast_path,
     )
     return simulator.run_closed_loop(
         workload,

@@ -108,15 +108,110 @@ def memory_timeline(entries: Sequence[BatchEntry]) -> list[int]:
     their tokens.  The maximum of this timeline equals
     :func:`peak_future_memory`; the full series is used by the admission
     walk-through example and the Figure 5/6 bench.
+
+    Computed in one cumulative pass over the horizon: with requests sorted by
+    remaining length, the survivors at step *s* are a suffix, so the occupied
+    tokens are ``suffix_current_sum(s) + survivors(s) * s`` — no per-step
+    Python loop.
     """
     if not entries:
         return [0]
     current = np.array([e.current_tokens for e in entries], dtype=np.int64)
     remaining = np.array([e.remaining_tokens for e in entries], dtype=np.int64)
     horizon = int(remaining.max())
-    timeline: list[int] = [int(current.sum())]
-    for step in range(1, horizon + 1):
-        alive = remaining >= step
-        occupied = current[alive] + step
-        timeline.append(int(occupied.sum()))
-    return timeline
+    order = np.argsort(remaining, kind="stable")
+    remaining_sorted = remaining[order]
+    prefix_current = np.concatenate(([0], np.cumsum(current[order])))
+    steps = np.arange(horizon + 1, dtype=np.int64)
+    # Requests with remaining < s have drained before step s; they form a
+    # prefix of the ascending sort.
+    drained = np.searchsorted(remaining_sorted, steps, side="left")
+    survivors = remaining.size - drained
+    occupied = (prefix_current[-1] - prefix_current[drained]) + survivors * steps
+    return [int(x) for x in occupied]
+
+
+class FutureMemoryIndex:
+    """Incremental Eq. 2–4 evaluation for per-candidate admission tests.
+
+    The admission loop of the Past-Future and oracle schedulers asks, for each
+    waiting candidate in FCFS order, "what would the batch's peak future
+    memory be with this candidate added?"  Recomputing Eq. 2–4 from scratch
+    makes each step O(Q·B log B) over Q candidates.  This index sorts the
+    running batch **once** (O(B log B)), caches the prefix sums and running
+    maxima of the completion-time profile, and answers each what-if query in
+    O(log B) via :func:`numpy.searchsorted`; admitting a candidate
+    (:meth:`insert`) rebuilds the caches in O(B).
+
+    Queries are exact integer arithmetic, so admission decisions are
+    bit-identical to the from-scratch evaluation, including the stable
+    tie-order of the reference ``argsort`` (a candidate sorts *after* every
+    incumbent with equal remaining length, matching its position at the end
+    of the trial array).
+    """
+
+    __slots__ = ("_current", "_remaining", "_prefix", "_neg_remaining", "_left_max", "_tail_max")
+
+    def __init__(
+        self,
+        current: np.ndarray | Sequence[int],
+        remaining: np.ndarray | Sequence[int],
+    ) -> None:
+        current_arr = np.asarray(current, dtype=np.int64)
+        remaining_arr = np.asarray(remaining, dtype=np.int64)
+        if current_arr.shape != remaining_arr.shape or current_arr.ndim != 1:
+            raise ValueError("current and remaining must be 1-D arrays of equal length")
+        if np.any(current_arr < 0) or np.any(remaining_arr < 0):
+            raise ValueError("token counts must be non-negative")
+        order = np.argsort(-remaining_arr, kind="stable")
+        self._current = current_arr[order]
+        self._remaining = remaining_arr[order]
+        self._recompute()
+
+    def _recompute(self) -> None:
+        remaining = self._remaining
+        self._prefix = np.cumsum(self._current)
+        self._neg_remaining = -remaining
+        if remaining.size:
+            counts = np.arange(1, remaining.size + 1, dtype=np.int64)
+            profile = self._prefix + remaining * counts
+            self._left_max = np.maximum.accumulate(profile)
+            # Insertion at position p shifts every later entry's completion
+            # rank by one: M'_i = M_i + remaining_i + cand_current.
+            self._tail_max = np.maximum.accumulate((profile + remaining)[::-1])[::-1]
+        else:
+            self._left_max = profile = np.zeros(0, dtype=np.int64)
+            self._tail_max = profile
+
+    def __len__(self) -> int:
+        return int(self._current.size)
+
+    @property
+    def peak(self) -> int:
+        """Peak future memory of the base batch alone (Eq. 4)."""
+        return int(self._left_max[-1]) if self._left_max.size else 0
+
+    def _insert_position(self, remaining_tokens: int) -> int:
+        return int(np.searchsorted(self._neg_remaining, -remaining_tokens, side="right"))
+
+    def peak_with(self, current_tokens: int, remaining_tokens: int) -> int:
+        """Peak future memory of the batch plus one hypothetical candidate."""
+        if current_tokens < 0 or remaining_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+        p = self._insert_position(remaining_tokens)
+        before = int(self._prefix[p - 1]) if p else 0
+        peak = before + current_tokens + remaining_tokens * (p + 1)
+        if p:
+            peak = max(peak, int(self._left_max[p - 1]))
+        if p < self._current.size:
+            peak = max(peak, int(self._tail_max[p]) + current_tokens)
+        return peak
+
+    def insert(self, current_tokens: int, remaining_tokens: int) -> None:
+        """Commit a candidate to the batch (it was admitted)."""
+        if current_tokens < 0 or remaining_tokens < 0:
+            raise ValueError("token counts must be non-negative")
+        p = self._insert_position(remaining_tokens)
+        self._current = np.insert(self._current, p, current_tokens)
+        self._remaining = np.insert(self._remaining, p, remaining_tokens)
+        self._recompute()

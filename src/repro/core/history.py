@@ -38,6 +38,7 @@ class OutputLengthHistory:
         self._window_size = window_size
         self._default_length = default_length
         self._lengths: deque[int] = deque(maxlen=window_size)
+        self._version = 0
 
     @property
     def window_size(self) -> int:
@@ -57,11 +58,22 @@ class OutputLengthHistory:
         """Whether no request has finished yet."""
         return not self._lengths
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Lets consumers cache derived views (e.g. the sorted window used by
+        the per-iteration predictor) and invalidate them only when the window
+        actually changed.
+        """
+        return self._version
+
     def record(self, output_length: int) -> None:
         """Add one finished request's output length to the window."""
         if output_length <= 0:
             raise ValueError("output_length must be positive")
         self._lengths.append(int(output_length))
+        self._version += 1
 
     def extend(self, output_lengths: list[int]) -> None:
         """Add several finished output lengths at once."""
@@ -77,6 +89,7 @@ class OutputLengthHistory:
     def clear(self) -> None:
         """Drop all observations (used between simulation runs)."""
         self._lengths.clear()
+        self._version += 1
 
     # ----------------------------------------------------------- statistics
     def mean(self) -> float:

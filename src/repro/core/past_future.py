@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.future_memory import peak_future_memory_arrays
+from repro.core.future_memory import FutureMemoryIndex
 from repro.core.history import OutputLengthHistory
 from repro.core.predictor import Aggregation, OutputLengthPredictor
 from repro.engine.request import Request
@@ -69,11 +69,15 @@ class PastFutureScheduler(Scheduler):
         self.max_running_requests = max_running_requests
         self.history = OutputLengthHistory(window_size=window_size, default_length=default_length)
         self._sample_counter = 0
+        self._sorted_window: np.ndarray | None = None
+        self._sorted_window_version = -1
 
     # ------------------------------------------------------------- lifecycle
     def on_run_start(self) -> None:
         self.history.clear()
         self._sample_counter = 0
+        self._sorted_window = None
+        self._sorted_window_version = -1
 
     def on_request_finished(self, request: Request, time: float) -> None:
         self.history.record(max(request.generated_tokens, 1))
@@ -81,13 +85,20 @@ class PastFutureScheduler(Scheduler):
     # -------------------------------------------------------------- scheduling
     def _make_predictor(self) -> OutputLengthPredictor:
         # A fresh per-call seed keeps runs reproducible while avoiding
-        # re-drawing identical samples every iteration.
+        # re-drawing identical samples every iteration.  The sorted window is
+        # cached across iterations (invalidated by the history's version
+        # counter) so per-call construction is O(1) instead of O(w log w).
         self._sample_counter += 1
+        version = self.history.version
+        if self._sorted_window is None or self._sorted_window_version != version:
+            self._sorted_window = np.sort(self.history.snapshot())
+            self._sorted_window_version = version
         return OutputLengthPredictor(
-            lengths=self.history.snapshot(),
+            lengths=self._sorted_window,
             seed=self.seed + self._sample_counter,
             num_samples=self.num_samples,
             aggregation=self.aggregation,
+            presorted=True,
         )
 
     def admission_budget(self, context: SchedulingContext) -> int:
@@ -136,18 +147,17 @@ class PastFutureScheduler(Scheduler):
         budget = self.admission_budget(context)
         current, remaining = self._predicted_entries(predictor, context.running)
 
+        # Incremental admission: the running batch is sorted once; each
+        # candidate is a searchsorted query over cached prefix sums instead of
+        # a from-scratch re-sort of the whole trial batch (O(B log B + Q·B)
+        # instead of O(Q·B log B)); decisions are bit-identical.
+        index = FutureMemoryIndex(current, remaining)
         admitted: list[Request] = []
-        current_list = list(current)
-        remaining_list = list(remaining)
         for candidate in context.waiting:
             cand_current, cand_remaining = self._candidate_entry(predictor, candidate)
-            trial_current = np.array(current_list + [cand_current], dtype=np.int64)
-            trial_remaining = np.array(remaining_list + [cand_remaining], dtype=np.int64)
-            peak = peak_future_memory_arrays(trial_current, trial_remaining)
-            if peak <= budget:
+            if index.peak_with(cand_current, cand_remaining) <= budget:
                 admitted.append(candidate)
-                current_list.append(cand_current)
-                remaining_list.append(cand_remaining)
+                index.insert(cand_current, cand_remaining)
             else:
                 break
         # Progress guarantee: an empty system must always admit its head

@@ -46,23 +46,35 @@ class OutputLengthPredictor:
         num_samples: how many independent samples to draw per request before
             aggregating.
         aggregation: how to combine repeated samples.
+        presorted: promise that ``lengths`` is already sorted ascending,
+            skipping the per-construction sort.  Callers that build one
+            predictor per iteration over a slowly changing window (the
+            Past-Future scheduler) cache the sorted array and pass it here;
+            sampling is over the sorted array either way, so results are
+            identical.
     """
 
     lengths: np.ndarray
     seed: int = 0
     num_samples: int = 1
     aggregation: Aggregation = "max"
+    presorted: bool = False
 
     def __post_init__(self) -> None:
         lengths = np.asarray(self.lengths, dtype=np.int64)
         if lengths.ndim != 1 or lengths.size == 0:
             raise ValueError("lengths must be a non-empty 1-D array")
-        if np.any(lengths <= 0):
-            raise ValueError("lengths must be positive")
         if self.num_samples <= 0:
             raise ValueError("num_samples must be positive")
-        # Sorted copy enables O(log n) conditional sampling via searchsorted.
-        object.__setattr__(self, "_sorted", np.sort(lengths))
+        if self.presorted:
+            if lengths[0] <= 0:
+                raise ValueError("lengths must be positive")
+            object.__setattr__(self, "_sorted", lengths)
+        else:
+            if np.any(lengths <= 0):
+                raise ValueError("lengths must be positive")
+            # Sorted copy enables O(log n) conditional sampling via searchsorted.
+            object.__setattr__(self, "_sorted", np.sort(lengths))
         object.__setattr__(self, "_rng", np.random.default_rng(self.seed))
 
     # ------------------------------------------------------------ distribution
@@ -118,17 +130,18 @@ class OutputLengthPredictor:
         # Index of the first historical length strictly greater than each
         # generated count; everything at or beyond it is a valid sample.
         starts = np.searchsorted(sorted_lengths, generated_arr, side="right")
-        predictions = np.empty((self.num_samples, generated_arr.size), dtype=np.int64)
-        for sample_index in range(self.num_samples):
-            uniforms = self._rng.random(generated_arr.size)
-            # Draw a uniform index in [start, n); exhausted tails handled below.
-            spans = np.maximum(n - starts, 1)
-            indices = starts + np.floor(uniforms * spans).astype(np.int64)
-            indices = np.minimum(indices, n - 1)
-            drawn = sorted_lengths[indices]
-            exhausted = starts >= n
-            drawn = np.where(exhausted, generated_arr + 1, drawn)
-            predictions[sample_index] = drawn
+        # One (num_samples, n) draw consumes the generator stream in exactly
+        # the order of num_samples successive row draws (C-contiguous fill),
+        # so the samples are identical to the per-row loop it replaces.
+        uniforms = self._rng.random((self.num_samples, generated_arr.size))
+        # Draw a uniform index in [start, n); exhausted tails handled below.
+        spans = np.maximum(n - starts, 1)
+        indices = starts + np.floor(uniforms * spans).astype(np.int64)
+        np.minimum(indices, n - 1, out=indices)
+        predictions = sorted_lengths[indices]
+        exhausted = starts >= n
+        if exhausted.any():
+            predictions = np.where(exhausted, generated_arr + 1, predictions)
         return _aggregate(predictions, self.aggregation).astype(np.int64)
 
 

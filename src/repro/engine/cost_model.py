@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.platform import Platform
 
 
@@ -114,6 +116,43 @@ class CostModel:
         vision = self.vision_seconds(work.images_encoded)
         total = prefill + decode + vision + self.step_overhead_seconds
         return total * self.speed_factor
+
+    def decode_step_durations(
+        self,
+        decode_requests: int,
+        start_context_tokens: int,
+        num_steps: int,
+    ) -> np.ndarray:
+        """Latencies of ``num_steps`` consecutive decode-only iterations.
+
+        Step ``j`` (0-based) decodes one token for each of ``decode_requests``
+        residents whose aggregate KV context is ``start_context_tokens +
+        j * decode_requests`` — exactly the work sequence of a batch that
+        admits nothing, prefills nothing, and finishes nothing.  This is the
+        cost model's multi-step integration for the engine's event-jump fast
+        path.
+
+        The per-step evaluation is vectorized rather than reduced to the
+        arithmetic-series closed form on purpose: each element performs the
+        *same* float64 operations in the *same* order as a scalar
+        :meth:`step_seconds` call, so the returned durations are bit-identical
+        to the reference one-iteration-at-a-time loop (a closed-form sum would
+        round differently).
+        """
+        if decode_requests <= 0:
+            raise ValueError("decode_requests must be positive")
+        if num_steps <= 0:
+            return np.zeros(0, dtype=np.float64)
+        model = self.platform.model
+        context = start_context_tokens + np.arange(num_steps, dtype=np.int64) * decode_requests
+        kv_bytes = context * model.kv_bytes_per_token
+        memory_time = (model.weight_bytes + kv_bytes) / (
+            self.platform.aggregate_bandwidth * self.bandwidth_efficiency
+        )
+        flops = decode_requests * model.flops_per_token
+        compute_time = flops / (self.platform.aggregate_flops * self.compute_efficiency)
+        decode = np.maximum(memory_time, compute_time)
+        return (decode + self.step_overhead_seconds) * self.speed_factor
 
     def tokens_per_second_upper_bound(self, context_tokens_per_request: int, batch_size: int) -> float:
         """Rough decode-throughput ceiling, used for sanity checks in tests."""

@@ -60,6 +60,26 @@ class StepResult:
 
 
 @dataclass
+class JumpResult:
+    """Outcome of one event-jump macro-step (``steps`` fused iterations).
+
+    Produced by :meth:`InferenceEngine.try_jump` when the engine can prove
+    that no scheduling event occurs for the next ``steps`` iterations; the
+    macro-step admits nothing, finishes nothing, and evicts nothing — it only
+    fast-forwards decode.
+    """
+
+    #: number of decode iterations fused into this macro-step.
+    steps: int
+    start_time: float
+    #: wall-clock time after the last fused iteration; bit-identical to the
+    #: sequentially accumulated end time of the reference loop.
+    end_time: float
+    #: decode tokens delivered (``steps * batch_size``).
+    decode_tokens: int
+
+
+@dataclass
 class EngineStats:
     """Counters accumulated over an engine's lifetime."""
 
@@ -88,6 +108,10 @@ class InferenceEngine:
             prefills each admitted request in a single iteration.
         token_capacity_override: replaces the platform's KV token capacity,
             used by scaled-down experiments and unit tests.
+        fast_path: whether :meth:`try_jump` may fuse event-free decode
+            iterations into vectorized macro-steps.  Metrics are bit-identical
+            either way; the flag exists so any future discrepancy can be
+            bisected against the reference loop in one flip.
     """
 
     def __init__(
@@ -99,6 +123,7 @@ class InferenceEngine:
         block_size: int = 1,
         chunked_prefill_tokens: int | None = None,
         token_capacity_override: int | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -116,7 +141,18 @@ class InferenceEngine:
         self.batch = RunningBatch()
         self.stats = EngineStats()
         self.memory_timeline = MemoryTimeline(token_capacity=self.pool.token_capacity)
+        self.fast_path = fast_path
         self._step_counter = 0
+        # Epoch-guarded profile of a *uniform* batch (every resident decoding).
+        # Bumped on any membership/state change (admission, eviction, finish);
+        # while it is unchanged, each iteration grows every resident by
+        # exactly one token, so the batch's context sum, oracle future-memory
+        # peak, and steps-until-first-finish all advance in closed form
+        # instead of being recomputed O(B) / O(B log B) per step.
+        # Layout: (epoch, batch_size, next_context_sum, future_required,
+        #          min_remaining).
+        self._batch_epoch = 0
+        self._silent_cache: tuple[int, int, int, int, int] | None = None
         self.scheduler.on_run_start()
 
     # ------------------------------------------------------------------ state
@@ -142,6 +178,9 @@ class InferenceEngine:
 
     # ------------------------------------------------------------- admission
     def _scheduling_context(self, time: float) -> SchedulingContext:
+        # Only built when the scheduler is actually consulted (non-empty
+        # waiting queue — see the guard in _admit); the running/waiting list
+        # copies here must never be constructed on pure decode iterations.
         return SchedulingContext(
             time=time,
             step=self._step_counter,
@@ -178,6 +217,8 @@ class InferenceEngine:
                     request.note_prefill(credit)
             admitted.append(request)
             self.batch.add(request)
+        if admitted:
+            self._batch_epoch += 1
         self.stats.total_admissions += len(admitted)
         return admitted
 
@@ -241,6 +282,7 @@ class InferenceEngine:
         self.batch.remove(request)
         request.evict()
         self.waiting.appendleft(request)
+        self._batch_epoch += 1
         self.stats.total_evictions += 1
         self.scheduler.on_request_evicted(request, time)
 
@@ -264,6 +306,7 @@ class InferenceEngine:
             request.finish(end_time)
             self.pool.free(request.request_id)
             self.batch.remove(request)
+            self._batch_epoch += 1
             finished.append(request)
             self.stats.total_finished += 1
             self.scheduler.on_request_finished(request, end_time)
@@ -274,13 +317,29 @@ class InferenceEngine:
         """Run one continuous-batching iteration starting at ``time``."""
         self._step_counter += 1
         admitted = self._admit(time)
-        decode_targets = [r for r in self.batch if r.state is RequestState.DECODING]
+        # The incremental batch profile is part of the fast path: with
+        # ``fast_path=False`` every quantity below is recomputed from scratch,
+        # keeping the reference loop a faithful bisection baseline.
+        cache = self._silent_cache if self.fast_path else None
+        if cache is not None and cache[0] != self._batch_epoch:
+            cache = self._silent_cache = None
+        if cache is not None:
+            # Unchanged epoch: same membership as when the cache was written,
+            # every resident decoding, each grown by exactly one token per
+            # iteration since — the context sum advanced in closed form.
+            decode_targets = self.batch.requests
+            decode_count = len(decode_targets)
+            decode_context = cache[2]
+        else:
+            decode_targets = [r for r in self.batch if r.state is RequestState.DECODING]
+            decode_count = len(decode_targets)
+            decode_context = sum(r.current_context_tokens for r in decode_targets)
         prefill_tokens, completed_prefill = self._plan_prefill()
         images = sum(1 for r in admitted if r.spec.image_tokens > 0)
         work = StepWork(
             prefill_tokens=prefill_tokens,
-            decode_requests=len(decode_targets),
-            decode_context_tokens=sum(r.current_context_tokens for r in decode_targets),
+            decode_requests=decode_count,
+            decode_context_tokens=decode_context,
             images_encoded=images,
         )
         duration = self.cost_model.step_seconds(work)
@@ -288,12 +347,38 @@ class InferenceEngine:
 
         evicted: list[Request] = []
         finished: list[Request] = []
-        for request in decode_targets:
-            if request.is_running:
-                self._deliver_one_token(request, end_time, evicted, finished)
-        for request in completed_prefill:
-            if request.is_running:
-                self._deliver_one_token(request, end_time, evicted, finished)
+        if cache is not None and cache[4] > 1 and self.pool.can_grow_each_by_one():
+            # Assured-silent iteration: no request can stop (min remaining
+            # length > 1) and the pool can grow every resident, so the
+            # per-token bookkeeping collapses to a bulk append.
+            self.pool.append_token_to_all()
+            for request in decode_targets:
+                request.generated_tokens += 1
+                request.token_times.append(end_time)
+            self.stats.total_decode_tokens += decode_count
+            future_required = cache[3]
+            self._silent_cache = (
+                self._batch_epoch,
+                decode_count,
+                decode_context + decode_count,
+                future_required,
+                cache[4] - 1,
+            )
+        else:
+            if decode_targets is self.batch.requests:
+                # Finishes/evictions mutate the batch mid-loop; iterate a copy
+                # exactly as the cold-path list comprehension does.
+                decode_targets = list(decode_targets)
+            for request in decode_targets:
+                if request.is_running:
+                    self._deliver_one_token(request, end_time, evicted, finished)
+            for request in completed_prefill:
+                if request.is_running:
+                    self._deliver_one_token(request, end_time, evicted, finished)
+            if self.fast_path:
+                future_required = self._refresh_silent_cache()
+            else:
+                future_required = self._true_future_required()
 
         self.stats.total_prefill_tokens += prefill_tokens
         if work.is_idle:
@@ -302,7 +387,6 @@ class InferenceEngine:
             self.stats.decoding_steps += 1
 
         used = self.pool.used_tokens
-        future_required = self._true_future_required()
         self.memory_timeline.record(
             step=self._step_counter,
             time=end_time,
@@ -321,6 +405,158 @@ class InferenceEngine:
             work=work,
             used_tokens=used,
             future_required_tokens=future_required,
+        )
+
+    def _refresh_silent_cache(self) -> int:
+        """Recompute the batch profile after an event-bearing iteration.
+
+        Returns the oracle future-required memory of the post-step batch and
+        seeds :attr:`_silent_cache` when the batch is uniform (every resident
+        decoding), enabling closed-form accounting on subsequent iterations.
+        """
+        requests = self.batch.requests
+        if not requests:
+            self._silent_cache = None
+            return 0
+        current = np.array([r.current_context_tokens for r in requests], dtype=np.int64)
+        remaining = np.array(
+            [min(r.remaining_true_tokens, r.remaining_cap_tokens) for r in requests],
+            dtype=np.int64,
+        )
+        future_required = peak_future_memory_arrays(current, remaining)
+        if all(r.state is RequestState.DECODING for r in requests):
+            self._silent_cache = (
+                self._batch_epoch,
+                len(requests),
+                int(current.sum()),
+                future_required,
+                int(remaining.min()),
+            )
+        else:
+            self._silent_cache = None
+        return future_required
+
+    # ------------------------------------------------------------- event jump
+    def silent_steps_bound(self) -> int:
+        """Upper bound on decode iterations provably free of any event.
+
+        An iteration is *silent* when it admits nothing (empty waiting
+        queue), prefills nothing, finishes nothing, and cannot evict (the
+        pool is guaranteed to grow every resident by one token).  Returns 0
+        whenever the next iteration might do any of those, in which case the
+        caller must take the reference :meth:`step` path.
+        """
+        if not self.fast_path or self.waiting:
+            return 0
+        if not self.batch.requests:
+            return 0
+        cache = self._silent_cache
+        if cache is not None and cache[0] != self._batch_epoch:
+            cache = self._silent_cache = None
+        if cache is None:
+            self._refresh_silent_cache()
+            cache = self._silent_cache
+            if cache is None:
+                # Some resident is still prefilling; the next iteration is
+                # not a pure decode step.
+                return 0
+        # The iteration that delivers some request's last token finishes it
+        # (an event); everything strictly before is silent.
+        bound = cache[4] - 1
+        if bound <= 0:
+            return 0
+        return self.pool.max_uniform_growth(bound)
+
+    def try_jump(
+        self,
+        time: float,
+        horizon: float | None = None,
+        max_steps: int | None = None,
+        max_time: float | None = None,
+        min_steps: int = 2,
+    ) -> JumpResult | None:
+        """Fuse as many provably event-free decode iterations as possible.
+
+        The macro-step reproduces the reference loop exactly: per-iteration
+        durations come from :meth:`CostModel.decode_step_durations` (the same
+        float64 operations the scalar path performs), token timestamps are the
+        cumulative-sum chain of those durations, the pool grows via bulk
+        appends that acquire the same blocks sequential appends would, and the
+        memory timeline receives one sample per fused iteration.
+
+        Args:
+            time: simulation clock at the start of the macro-step.
+            horizon: earliest external event (next arrival, autoscale
+                decision, replica warm-up, ...).  Intermediate iteration ends
+                stay strictly below it; only the final fused iteration may
+                cross it, exactly as a reference step started before the event
+                would.
+            max_steps: remaining step budget of the caller's safety limits.
+            max_time: the caller's simulation-time limit; the jump stops with
+                the first iteration that crosses it (the caller then
+                terminates, as the reference loop does).
+            min_steps: below this many fusable iterations the macro-step is
+                not worth its planning cost and ``None`` is returned.
+
+        Returns:
+            ``None`` when the fast path is disabled or the next iterations
+            are not provably silent — the caller must fall back to
+            :meth:`step`.
+        """
+        bound = self.silent_steps_bound()
+        if max_steps is not None and max_steps < bound:
+            bound = max_steps
+        if bound < min_steps:
+            return None
+        requests = self.batch.requests
+        cache = self._silent_cache
+        assert cache is not None  # established by silent_steps_bound
+        batch_size = cache[1]
+        context_tokens = cache[2]
+        durations = self.cost_model.decode_step_durations(batch_size, context_tokens, bound)
+        # cumsum chains the additions sequentially from ``time``, giving the
+        # exact floats the reference loop's ``time += duration`` produces.
+        ends = np.cumsum(np.concatenate(((time,), durations)))[1:]
+        steps = bound
+        if horizon is not None:
+            # Iterations whose end reaches the horizon must not be fused past:
+            # the reference loop would process the event before the next one.
+            steps = min(steps, int(np.searchsorted(ends, horizon, side="left")) + 1)
+        if max_time is not None:
+            steps = min(steps, int(np.searchsorted(ends, max_time, side="left")) + 1)
+        if steps < min_steps:
+            return None
+
+        end_times: list[float] = ends[:steps].tolist()
+        used_before = self.pool.used_tokens
+        future_required = cache[3]
+        for request in requests:
+            self.pool.append_tokens(request.request_id, steps)
+            request.deliver_tokens(end_times)
+        self.memory_timeline.record_jump(
+            first_step=self._step_counter,
+            times=end_times,
+            first_used_tokens=used_before,
+            used_tokens_per_step=batch_size,
+            future_required_tokens=future_required,
+            running_requests=batch_size,
+            queued_requests=0,
+        )
+        self._step_counter += steps
+        self.stats.decoding_steps += steps
+        self.stats.total_decode_tokens += steps * batch_size
+        self._silent_cache = (
+            self._batch_epoch,
+            batch_size,
+            context_tokens + steps * batch_size,
+            future_required,
+            cache[4] - steps,
+        )
+        return JumpResult(
+            steps=steps,
+            start_time=time,
+            end_time=end_times[-1],
+            decode_tokens=steps * batch_size,
         )
 
     def _true_future_required(self) -> int:

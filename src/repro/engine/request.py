@@ -55,6 +55,12 @@ class Request:
     eviction_count: int = 0
     finish_time: float | None = None
 
+    def __post_init__(self) -> None:
+        # The spec is immutable; snapshot the hot-path token count so the
+        # per-iteration accounting does one attribute read instead of a
+        # property chain through the spec.
+        self._prompt_tokens = self.spec.prompt_tokens
+
     # ------------------------------------------------------------ identities
     @property
     def request_id(self) -> str:
@@ -65,18 +71,18 @@ class Request:
     @property
     def prompt_tokens(self) -> int:
         """Prompt tokens including any image prefix."""
-        return self.spec.prompt_tokens
+        return self._prompt_tokens
 
     @property
     def recompute_tokens(self) -> int:
         """Tokens that must be (re)computed at admission: prompt plus any
         previously generated tokens lost to an eviction."""
-        return self.prompt_tokens + self.generated_tokens
+        return self._prompt_tokens + self.generated_tokens
 
     @property
     def current_context_tokens(self) -> int:
         """KV tokens the request holds once resident: prompt + generated."""
-        return self.prompt_tokens + self.generated_tokens
+        return self._prompt_tokens + self.generated_tokens
 
     @property
     def remaining_true_tokens(self) -> int:
@@ -126,6 +132,18 @@ class Request:
             raise ValueError(f"cannot deliver token in state {self.state}")
         self.generated_tokens += 1
         self.token_times.append(time)
+
+    def deliver_tokens(self, times: list[float]) -> None:
+        """Record one generated token per entry of ``times`` in one call.
+
+        Bulk variant of :meth:`deliver_token` used by the engine's event-jump
+        fast path; the caller guarantees none of these tokens triggers
+        :attr:`should_stop` before the last one.
+        """
+        if not self.is_running:
+            raise ValueError(f"cannot deliver tokens in state {self.state}")
+        self.generated_tokens += len(times)
+        self.token_times.extend(times)
 
     def evict(self) -> None:
         """Remove the request from the running batch, losing its KV cache."""

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 class OutOfMemoryError(RuntimeError):
     """Raised when an allocation does not fit in the pool."""
@@ -58,6 +60,10 @@ class BlockKVCachePool:
         self._free_blocks: list[int] = list(range(self._num_blocks - 1, -1, -1))
         self._tables: dict[str, BlockTable] = {}
         self._peak_tokens_used = 0
+        # Incremental occupancy counter: kept in sync by every allocate /
+        # append / free so `used_tokens` (queried once per decode token by the
+        # engine's accounting) is O(1) instead of a full sum over all tables.
+        self._used_tokens = 0
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -87,21 +93,22 @@ class BlockKVCachePool:
 
     @property
     def used_tokens(self) -> int:
-        """Total tokens currently stored across all requests."""
-        return sum(t.num_tokens for t in self._tables.values())
+        """Total tokens currently stored across all requests (O(1))."""
+        return self._used_tokens
 
     @property
     def free_tokens(self) -> int:
-        """Token slots still available, counting partially filled blocks."""
-        partial_slack = sum(
-            self._slack(table) for table in self._tables.values()
-        )
-        return len(self._free_blocks) * self._block_size + partial_slack
+        """Token slots still available, counting partially filled blocks.
+
+        Equals ``free_blocks * block_size`` plus the slack of every partial
+        block, which algebraically reduces to ``token_capacity - used_tokens``.
+        """
+        return self.token_capacity - self._used_tokens
 
     @property
     def utilization(self) -> float:
-        """Fraction of token capacity currently in use."""
-        return self.used_tokens / self.token_capacity
+        """Fraction of token capacity currently in use (O(1))."""
+        return self._used_tokens / self.token_capacity
 
     @property
     def peak_tokens_used(self) -> int:
@@ -152,6 +159,7 @@ class BlockKVCachePool:
         block_ids = [self._free_blocks.pop() for _ in range(needed)]
         table = BlockTable(request_id=request_id, block_ids=block_ids, num_tokens=num_tokens)
         self._tables[request_id] = table
+        self._used_tokens += num_tokens
         self._note_usage()
         return table
 
@@ -182,7 +190,131 @@ class BlockKVCachePool:
                 )
             table.block_ids.append(self._free_blocks.pop())
         table.num_tokens += 1
+        self._used_tokens += 1
         self._note_usage()
+
+    def append_tokens(self, request_id: str, num_tokens: int) -> None:
+        """Grow a request by ``num_tokens`` generated tokens in one call.
+
+        Equivalent to ``num_tokens`` successive :meth:`append_token` calls
+        (same block acquisition order from the free list), but O(blocks)
+        instead of O(tokens) — the bulk path used by the engine's event-jump
+        fast forward.
+
+        Raises:
+            AllocationError: if the request holds no blocks or ``num_tokens``
+                is not positive.
+            OutOfMemoryError: if more free blocks are required than exist (no
+                partial growth is performed).
+        """
+        if num_tokens <= 0:
+            raise AllocationError("num_tokens must be positive")
+        table = self._tables.get(request_id)
+        if table is None:
+            raise AllocationError(f"request {request_id!r} has no allocation")
+        needed = self.blocks_needed(table.num_tokens + num_tokens) - len(table.block_ids)
+        if needed > len(self._free_blocks):
+            raise OutOfMemoryError(
+                f"need {needed} blocks to grow request {request_id!r} by "
+                f"{num_tokens} tokens, only {len(self._free_blocks)} free"
+            )
+        if needed > 0:
+            # Identical block ids, in the same order, as sequential pop()s.
+            grabbed = self._free_blocks[-needed:]
+            grabbed.reverse()
+            del self._free_blocks[-needed:]
+            table.block_ids.extend(grabbed)
+        table.num_tokens += num_tokens
+        self._used_tokens += num_tokens
+        self._note_usage()
+
+    def can_grow_each_by_one(self) -> bool:
+        """Whether every resident request can grow by one token right now."""
+        if self._block_size == 1:
+            return len(self._free_blocks) >= len(self._tables)
+        bs = self._block_size
+        full = sum(1 for t in self._tables.values() if len(t.block_ids) * bs == t.num_tokens)
+        return full <= len(self._free_blocks)
+
+    def append_token_to_all(self) -> None:
+        """Grow every resident request by one generated token (bulk decode).
+
+        Equivalent to one :meth:`append_token` per resident request; callers
+        should establish :meth:`can_grow_each_by_one` first.
+
+        Raises:
+            OutOfMemoryError: if some request needs a new block and none is
+                free (no partial growth is performed).
+        """
+        bs = self._block_size
+        tables = self._tables.values()
+        if bs == 1:
+            # Every table fills a block per token; all need one.
+            needing: list[BlockTable] | object = tables
+            num_needing = len(self._tables)
+        else:
+            needing = [t for t in tables if len(t.block_ids) * bs == t.num_tokens]
+            num_needing = len(needing)
+        if num_needing > len(self._free_blocks):
+            raise OutOfMemoryError(
+                f"{num_needing} requests need a new block, "
+                f"only {len(self._free_blocks)} free"
+            )
+        free_pop = self._free_blocks.pop
+        for table in needing:
+            table.block_ids.append(free_pop())
+        for table in tables:
+            table.num_tokens += 1
+        self._used_tokens += len(self._tables)
+        self._note_usage()
+
+    def max_uniform_growth(self, cap: int | None = None) -> int:
+        """Largest ``K`` such that *every* resident request can grow by ``K``
+        tokens without exhausting the pool, regardless of interleaving.
+
+        Used by the event-jump planner to prove that ``K`` macro-advanced
+        decode iterations cannot trigger an eviction.  Returns ``cap`` when
+        no request is resident (unbounded growth), and ``0`` when even one
+        more token per request may not fit.
+        """
+        n = len(self._tables)
+        if n == 0:
+            return cap if cap is not None else self.token_capacity
+        bs = self._block_size
+        free = len(self._free_blocks)
+        if bs == 1:
+            # No partial-block slack can exist: each request needs exactly one
+            # fresh block per token.
+            best = free // n
+            return best if cap is None else min(best, cap)
+        slacks = np.fromiter(
+            (len(t.block_ids) * bs - t.num_tokens for t in self._tables.values()),
+            dtype=np.int64,
+            count=n,
+        )
+        min_slack = int(slacks.min())
+
+        def fits(k: int) -> bool:
+            needed = (np.maximum(k - slacks, 0) + bs - 1) // bs
+            return int(needed.sum()) <= free
+
+        # K <= min_slack needs no new block at all; beyond min_slack + free*bs
+        # the tightest request alone outgrows the free list.
+        hi = min_slack + free * bs
+        if cap is not None:
+            hi = min(hi, cap)
+        if hi <= min_slack:
+            return max(hi, 0)
+        if fits(hi):
+            return hi
+        lo = max(min_slack, 0)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if fits(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
 
     def free(self, request_id: str) -> int:
         """Release all blocks of a request, returning the number released.
@@ -194,6 +326,7 @@ class BlockKVCachePool:
         if table is None:
             return 0
         self._free_blocks.extend(reversed(table.block_ids))
+        self._used_tokens -= table.num_tokens
         return len(table.block_ids)
 
     def reset(self) -> None:
@@ -201,11 +334,11 @@ class BlockKVCachePool:
         self._tables.clear()
         self._free_blocks = list(range(self._num_blocks - 1, -1, -1))
         self._peak_tokens_used = 0
+        self._used_tokens = 0
 
     def _note_usage(self) -> None:
-        used = self.used_tokens
-        if used > self._peak_tokens_used:
-            self._peak_tokens_used = used
+        if self._used_tokens > self._peak_tokens_used:
+            self._peak_tokens_used = self._used_tokens
 
     # ------------------------------------------------------------- inspection
     def block_table(self, request_id: str) -> BlockTable:

@@ -58,6 +58,38 @@ class MemoryTimeline:
             )
         )
 
+    def record_jump(
+        self,
+        first_step: int,
+        times: list[float],
+        first_used_tokens: int,
+        used_tokens_per_step: int,
+        future_required_tokens: int,
+        running_requests: int,
+        queued_requests: int,
+    ) -> None:
+        """Append one sample per macro-advanced decode iteration.
+
+        During an event-jump no request finishes and none is admitted, so the
+        per-step samples follow in closed form: occupancy grows by
+        ``used_tokens_per_step`` (one token per resident request) each
+        iteration and the batch's future requirement is invariant (every
+        request's remaining length shrinks exactly as its context grows).
+        Produces records identical to ``len(times)`` single-step
+        :meth:`record` calls.
+        """
+        self.samples.extend(
+            MemorySample(
+                step=first_step + offset,
+                time=time,
+                used_tokens=first_used_tokens + offset * used_tokens_per_step,
+                future_required_tokens=future_required_tokens,
+                running_requests=running_requests,
+                queued_requests=queued_requests,
+            )
+            for offset, time in enumerate(times, start=1)
+        )
+
     def __len__(self) -> int:
         return len(self.samples)
 

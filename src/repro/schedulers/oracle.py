@@ -14,9 +14,7 @@ ablation benches compare against.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.future_memory import peak_future_memory_arrays
+from repro.core.future_memory import FutureMemoryIndex
 from repro.engine.request import Request
 from repro.schedulers.base import Scheduler, SchedulingContext
 
@@ -38,18 +36,18 @@ class OracleScheduler(Scheduler):
         if not context.waiting:
             return []
         entries = [self._entry(r) for r in context.running]
-        current_list = [c for c, _ in entries]
-        remaining_list = [r for _, r in entries]
+        # Incremental per-candidate admission (see PastFutureScheduler): sort
+        # the running batch once, then each candidate is a searchsorted query.
+        index = FutureMemoryIndex(
+            [c for c, _ in entries],
+            [r for _, r in entries],
+        )
         admitted: list[Request] = []
         for candidate in context.waiting:
             cand_current, cand_remaining = self._entry(candidate)
-            trial_current = np.array(current_list + [cand_current], dtype=np.int64)
-            trial_remaining = np.array(remaining_list + [cand_remaining], dtype=np.int64)
-            peak = peak_future_memory_arrays(trial_current, trial_remaining)
-            if peak <= context.token_capacity:
+            if index.peak_with(cand_current, cand_remaining) <= context.token_capacity:
                 admitted.append(candidate)
-                current_list.append(cand_current)
-                remaining_list.append(cand_remaining)
+                index.insert(cand_current, cand_remaining)
             else:
                 break
         if not admitted and not context.running and context.waiting:

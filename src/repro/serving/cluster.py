@@ -156,6 +156,12 @@ class ClusterSimulator:
             at ``num_replicas``.
         limits: safety bounds over the whole fleet (``max_steps`` counts
             iterations summed across replicas).
+        fast_path: let replicas fuse provably event-free decode iterations
+            into macro-steps (see :meth:`InferenceEngine.try_jump`), bounded
+            so every cross-replica observation point (arrival routing,
+            autoscale decisions, warm-up completions, and — for closed-loop
+            clients — any other replica's steps) sees bit-identical state;
+            ``False`` forces the reference one-iteration loop for bisection.
     """
 
     def __init__(
@@ -174,6 +180,7 @@ class ClusterSimulator:
         reject_when_saturated: bool = False,
         autoscaler: Autoscaler | None = None,
         limits: SimulationLimits | None = None,
+        fast_path: bool = True,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
@@ -189,6 +196,7 @@ class ClusterSimulator:
         self.reject_when_saturated = reject_when_saturated
         self.autoscaler = autoscaler
         self.limits = limits or SimulationLimits()
+        self.fast_path = fast_path
         if scheduler_factory is None:
             kwargs = dict(scheduler_kwargs or {})
 
@@ -261,6 +269,7 @@ class ClusterSimulator:
             block_size=self._block_size,
             chunked_prefill_tokens=self._chunked_prefill_tokens,
             token_capacity_override=self._token_capacity_override,
+            fast_path=self.fast_path,
         )
 
     def _launch_replica(self, time: float, warmup_delay: float) -> _Replica:
@@ -384,7 +393,13 @@ class ClusterSimulator:
         replica.engine.submit(request)
 
     # ---------------------------------------------------------------- running
-    def _run(self, generator: LoadGenerator, workload_name: str, num_clients: int) -> ClusterResult:
+    def _run(
+        self,
+        generator: LoadGenerator,
+        workload_name: str,
+        num_clients: int,
+        arrivals_from_finishes: bool = False,
+    ) -> ClusterResult:
         # Engines accumulate state (stats, timelines, scheduler history), so a
         # simulator drives exactly one run; build a fresh one per experiment.
         if self._consumed:
@@ -437,6 +452,44 @@ class ClusterSimulator:
                 continue
 
             assert step_replica is not None
+            if self.fast_path and not self._deferred_releases:
+                # Event-jump: this replica may fast-forward decode iterations
+                # that provably produce no event.  Silent iterations touch
+                # only the replica's own engine, so they commute with other
+                # replicas' silent iterations; the horizon is the earliest
+                # moment anything can *observe* this replica — a scheduled
+                # arrival (routing snapshots), an autoscale decision, a
+                # warm-up completion, and, when completions generate new
+                # arrivals (closed-loop clients), any other busy replica's
+                # next iteration, which could finish a request whose
+                # follow-up request is routed using this replica's state.
+                horizon = min(
+                    (event_time for event_time, kind in events if kind != STEP),
+                    default=None,
+                )
+                if arrivals_from_finishes:
+                    for other in busy:
+                        if other is not step_replica and (
+                            horizon is None or other.clock < horizon
+                        ):
+                            horizon = other.clock
+                jump = step_replica.engine.try_jump(
+                    step_replica.clock,
+                    horizon=horizon,
+                    max_steps=self.limits.max_steps - total_steps,
+                    max_time=self.limits.max_time,
+                )
+                if jump is not None:
+                    step_replica.clock = jump.end_time
+                    step_replica.idle_streak = 0
+                    total_steps += jump.steps
+                    if (
+                        total_steps >= self.limits.max_steps
+                        or step_replica.clock >= self.limits.max_time
+                    ):
+                        completed = False
+                        break
+                    continue
             result = step_replica.engine.step(step_replica.clock)
             if result.duration > 0:
                 step_replica.clock = result.end_time
@@ -517,7 +570,7 @@ class ClusterSimulator:
     ) -> ClusterResult:
         """Serve a workload with a fleet-wide closed-loop client pool."""
         pool = ClosedLoopClientPool(workload, num_clients=num_clients, think_time=think_time)
-        return self._run(pool, workload.name, num_clients)
+        return self._run(pool, workload.name, num_clients, arrivals_from_finishes=True)
 
     def run_open_loop(
         self,

@@ -54,7 +54,14 @@ class SimulationLimits:
 
 
 class ServingSimulator:
-    """Drives an :class:`InferenceEngine` against a load generator."""
+    """Drives an :class:`InferenceEngine` against a load generator.
+
+    With ``fast_path`` (the default) the loop asks the engine to fuse
+    provably event-free decode iterations into vectorized macro-steps,
+    bounded by the next scheduled arrival; ``fast_path=False`` forces the
+    reference one-iteration-at-a-time loop.  Results are bit-identical, so
+    the flag is purely a bisection escape hatch.
+    """
 
     def __init__(
         self,
@@ -66,9 +73,11 @@ class ServingSimulator:
         chunked_prefill_tokens: int | None = None,
         token_capacity_override: int | None = None,
         limits: SimulationLimits | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
+        self.fast_path = fast_path
         self.engine = InferenceEngine(
             platform=platform,
             scheduler=scheduler,
@@ -77,6 +86,7 @@ class ServingSimulator:
             block_size=block_size,
             chunked_prefill_tokens=chunked_prefill_tokens,
             token_capacity_override=token_capacity_override,
+            fast_path=fast_path,
         )
         self.limits = limits or SimulationLimits()
 
@@ -104,6 +114,26 @@ class ServingSimulator:
                     break
                 time = max(time, next_arrival)
                 continue
+
+            if self.fast_path:
+                # Event-jump: fuse decode iterations up to the next arrival.
+                # No request finishes inside a jump, so closed-loop clients
+                # cannot schedule new arrivals mid-macro-step and the horizon
+                # is complete knowledge of future events.
+                jump = engine.try_jump(
+                    time,
+                    horizon=generator.next_arrival_time(),
+                    max_steps=self.limits.max_steps - step,
+                    max_time=self.limits.max_time,
+                )
+                if jump is not None:
+                    time = jump.end_time
+                    step += jump.steps
+                    idle_streak = 0
+                    if step >= self.limits.max_steps or time >= self.limits.max_time:
+                        completed = False
+                        break
+                    continue
 
             result = engine.step(time)
             time = result.end_time if result.duration > 0 else time

@@ -1,0 +1,242 @@
+"""Fast-path equivalence: event-jump macro-steps vs the reference loop.
+
+The engine's event-jump fast path (``fast_path=True``, the default) must be
+an *exact* optimisation: every externally visible quantity — per-token
+delivery timestamps, admission/eviction/finish times, engine statistics, and
+the per-step memory timeline — must be bit-identical to the reference
+one-token-per-iteration loop (``fast_path=False``).  These tests run the same
+seeded workloads through both loops across workload families, chunked prefill
+on/off, and block sizes, and compare everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.perf import cluster_snapshot, run_snapshot
+from repro.engine.cost_model import CostModel
+from repro.hardware.platform import paper_platform
+from repro.memory.block_manager import BlockKVCachePool
+from repro.schedulers.registry import create_scheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.server import ServingSimulator
+from repro.workloads.arrivals import assign_bursty_arrivals
+from repro.workloads.burstgpt import generate_api_trace, generate_conversation_trace
+from repro.workloads.sharegpt import generate_sharegpt_o1_workload, generate_sharegpt_workload
+from repro.workloads.spec import scale_workload
+
+
+PLATFORM = paper_platform("7b-a100")
+#: Small enough to force admission pressure and (for aggressive) evictions.
+CAPACITY = 2048
+
+
+def single_engine_runs(scheduler_name, scheduler_kwargs, workload, *,
+                       block_size, chunked, clients):
+    results = []
+    for fast_path in (True, False):
+        simulator = ServingSimulator(
+            PLATFORM,
+            create_scheduler(scheduler_name, **scheduler_kwargs),
+            token_capacity_override=CAPACITY,
+            block_size=block_size,
+            chunked_prefill_tokens=chunked,
+            fast_path=fast_path,
+        )
+        results.append(simulator.run_closed_loop(workload, num_clients=clients))
+    return results
+
+
+WORKLOADS = {
+    "sharegpt": lambda: scale_workload(generate_sharegpt_workload(60, seed=3), 0.25),
+    "sharegpt-o1": lambda: scale_workload(generate_sharegpt_o1_workload(40, seed=5), 0.125),
+    "burstgpt-conversation": lambda: scale_workload(
+        generate_conversation_trace(60, seed=7), 0.25
+    ),
+    "burstgpt-api": lambda: scale_workload(generate_api_trace(60, seed=9), 0.25),
+}
+
+
+@pytest.mark.parametrize("workload_name", list(WORKLOADS))
+@pytest.mark.parametrize("block_size", [1, 16])
+@pytest.mark.parametrize("chunked", [None, 256])
+def test_past_future_bit_identical(workload_name, block_size, chunked):
+    """The tentpole guarantee, across workloads x block sizes x prefill modes."""
+    workload = WORKLOADS[workload_name]()
+    fast, reference = single_engine_runs(
+        "past-future",
+        {"reserved_fraction": 0.05, "seed": 11, "num_samples": 2},
+        workload,
+        block_size=block_size,
+        chunked=chunked,
+        clients=16,
+    )
+    assert run_snapshot(fast) == run_snapshot(reference)
+
+
+@pytest.mark.parametrize("scheduler_name,kwargs", [
+    ("aggressive", {"watermark": 0.95}),
+    ("conservative", {}),
+    ("oracle", {}),
+])
+def test_other_schedulers_bit_identical(scheduler_name, kwargs):
+    """Eviction-heavy (aggressive) and baseline schedulers agree too."""
+    workload = WORKLOADS["sharegpt"]()
+    fast, reference = single_engine_runs(
+        scheduler_name, kwargs, workload, block_size=1, chunked=None, clients=24
+    )
+    assert run_snapshot(fast) == run_snapshot(reference)
+    if scheduler_name == "aggressive":
+        # The scenario must actually exercise the eviction path, otherwise
+        # this test is weaker than it claims.
+        assert reference.engine_stats.total_evictions > 0
+
+
+def test_fast_path_actually_jumps():
+    """Guard against the fast path silently degrading to the reference loop."""
+    workload = WORKLOADS["sharegpt"]()
+    simulator = ServingSimulator(
+        PLATFORM,
+        create_scheduler("past-future", seed=1),
+        token_capacity_override=CAPACITY,
+        fast_path=True,
+    )
+    jumped = []
+    original = simulator.engine.try_jump
+
+    def spy(*args, **kwargs):
+        result = original(*args, **kwargs)
+        if result is not None:
+            jumped.append(result.steps)
+        return result
+
+    simulator.engine.try_jump = spy
+    simulator.run_closed_loop(workload, num_clients=8)
+    assert jumped, "no macro-step was ever taken on a light workload"
+    assert max(jumped) >= 2
+
+
+@pytest.mark.parametrize("closed_loop", [True, False])
+def test_cluster_bit_identical(closed_loop):
+    """Fleet runs agree under both client models (routing reads snapshots)."""
+    workload = scale_workload(generate_sharegpt_workload(80, seed=13), 0.25)
+
+    def build(fast_path):
+        return ClusterSimulator(
+            platform=PLATFORM,
+            num_replicas=3,
+            router="memory-aware",
+            scheduler_name="aggressive",
+            scheduler_kwargs={"watermark": 0.95},
+            token_capacity_override=CAPACITY,
+            fast_path=fast_path,
+        )
+
+    if closed_loop:
+        fast = build(True).run_closed_loop(workload, num_clients=12)
+        reference = build(False).run_closed_loop(workload, num_clients=12)
+    else:
+        stamped = assign_bursty_arrivals(
+            workload, base_rate=2.0, burst_rate=40.0, burst_length=30, cycle_length=40, seed=3
+        )
+        fast = build(True).run_open_loop(stamped)
+        reference = build(False).run_open_loop(stamped)
+    assert cluster_snapshot(fast) == cluster_snapshot(reference)
+
+
+def test_autoscaled_cluster_bit_identical():
+    """Elastic fleets (decision/warm-up events bound the jumps) agree."""
+    from repro.serving.autoscale import Autoscaler, create_autoscale_policy
+
+    workload = assign_bursty_arrivals(
+        scale_workload(generate_sharegpt_workload(80, seed=17), 0.25),
+        base_rate=1.0,
+        burst_rate=20.0,
+        burst_length=30,
+        cycle_length=40,
+        seed=5,
+    )
+
+    def build(fast_path):
+        return ClusterSimulator(
+            platform=PLATFORM,
+            num_replicas=2,
+            router="least-outstanding",
+            scheduler_name="aggressive",
+            scheduler_kwargs={"watermark": 0.95},
+            token_capacity_override=CAPACITY,
+            autoscaler=Autoscaler(
+                policy=create_autoscale_policy("reactive", scale_up_threshold=0.25),
+                interval=0.5,
+                min_replicas=1,
+                max_replicas=4,
+                warmup_delay=1.5,
+                sample_window=3.0,
+            ),
+            fast_path=fast_path,
+        )
+
+    fast = build(True).run_open_loop(workload)
+    reference = build(False).run_open_loop(workload)
+    assert cluster_snapshot(fast) == cluster_snapshot(reference)
+
+
+# ------------------------------------------------------------- building blocks
+def test_decode_step_durations_match_scalar_cost_model():
+    """Vectorized multi-step integration = scalar step_seconds, bitwise."""
+    from repro.engine.cost_model import StepWork
+
+    model = CostModel(PLATFORM)
+    durations = model.decode_step_durations(7, 3000, 50)
+    for j in range(50):
+        work = StepWork(decode_requests=7, decode_context_tokens=3000 + j * 7)
+        assert durations[j] == model.step_seconds(work)
+
+
+@pytest.mark.parametrize("block_size", [1, 4, 16])
+def test_pool_bulk_append_matches_sequential(block_size):
+    """append_tokens == repeated append_token (tokens, blocks, and ids)."""
+    bulk = BlockKVCachePool(4096, block_size=block_size)
+    seq = BlockKVCachePool(4096, block_size=block_size)
+    for pool in (bulk, seq):
+        pool.allocate("a", 37)
+        pool.allocate("b", 64)
+    bulk.append_tokens("a", 29)
+    for _ in range(29):
+        seq.append_token("a")
+    assert bulk.tokens_of("a") == seq.tokens_of("a") == 66
+    assert bulk.block_table("a").block_ids == seq.block_table("a").block_ids
+    assert bulk.used_tokens == seq.used_tokens
+    assert bulk.free_blocks == seq.free_blocks
+    assert bulk.peak_tokens_used == seq.peak_tokens_used
+
+
+@pytest.mark.parametrize("block_size", [1, 4, 16])
+def test_pool_max_uniform_growth_is_exact(block_size):
+    """The bound is tight: K fits for every resident, K+1 does not."""
+    pool = BlockKVCachePool(640, block_size=block_size)
+    pool.allocate("a", 37)
+    pool.allocate("b", 100)
+    pool.allocate("c", 3)
+    k = pool.max_uniform_growth()
+    assert k > 0
+    for request_id in ("a", "b", "c"):
+        pool.append_tokens(request_id, k)
+    # Growing every request by one more token must fail for at least one.
+    assert not pool.can_grow_each_by_one()
+
+
+def test_pool_incremental_used_tokens_stays_consistent():
+    """The O(1) counters always agree with a from-scratch sum."""
+    pool = BlockKVCachePool(512, block_size=4)
+    pool.allocate("a", 10)
+    pool.allocate("b", 3)
+    pool.append_tokens("a", 7)
+    pool.append_token("b")
+    pool.free("a")
+    pool.allocate("c", 21)
+    pool.append_token_to_all()
+    expected = sum(pool.tokens_of(r) for r in pool.owners())
+    assert pool.used_tokens == expected
+    assert pool.free_tokens == pool.token_capacity - expected
+    assert pool.utilization == expected / pool.token_capacity

@@ -7,6 +7,13 @@ with the paper's future-memory equations — then compares them on goodput
 per replica-second and prints the predictive run's fleet-size timeline and
 scaling decisions.
 
+Written against the decision-based placement API: replica capacities come
+from the per-replica ``capacity_scale`` knob (which preserves capacity
+*ratios*, so the same config works on heterogeneous fleets — pass
+``platforms=[...]`` to mix GPU generations and the predictive policy sizes
+the fleet in capacity units), and routing flows through
+``Router.decide -> RoutingDecision``.
+
 Run with:  python examples/autoscaling.py
 """
 
@@ -28,9 +35,15 @@ SCALE = 1.0 / 16.0
 MAX_REPLICAS = 6
 
 
+#: Per-replica capacity multiplier: 1/16 workload scale and 1/8 of the pool
+#: per replica, preserving each replica's own capacity ratio (the form that
+#: stays correct when the fleet mixes GPU generations).
+CAPACITY_SCALE = SCALE / 8
+
+
 def main() -> None:
     platform = paper_platform("7b-a100")
-    replica_capacity = int(platform.token_capacity * SCALE) // 8
+    replica_capacity = int(platform.token_capacity * CAPACITY_SCALE)
     print(f"Platform: {platform.describe()}")
     print(f"Replica KV capacity: {replica_capacity:,} token slots (scaled)")
 
@@ -52,7 +65,7 @@ def main() -> None:
         sample_window=4.0,
         scheduler_name="aggressive",
         scheduler_kwargs={"watermark": 0.95},
-        token_capacity_override=replica_capacity,
+        capacity_scale=CAPACITY_SCALE,
         chunked_prefill_tokens=int(8192 * SCALE),
     )
     sla = SLASpec(ttft_limit=2.5, mtpot_limit=0.5)

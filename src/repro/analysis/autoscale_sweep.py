@@ -17,6 +17,7 @@ and move within ``[min_replicas, max_replicas]``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.hardware.platform import Platform
 from repro.serving.autoscale import (
@@ -35,9 +36,17 @@ from repro.workloads.spec import Workload
 
 @dataclass
 class AutoscaleExperimentConfig:
-    """Everything needed to reproduce one elastic-fleet serving run."""
+    """Everything needed to reproduce one elastic-fleet serving run.
 
-    platform: Platform
+    Exactly one of ``platform`` / ``platforms`` must be set; with
+    ``platforms`` the elastic fleet is heterogeneous — launches (including
+    autoscaler scale-ups) cycle through the platform list, and the
+    predictive policy sizes the fleet in capacity units rather than replica
+    counts.  ``capacity_scale`` scales each replica's own platform capacity
+    (see :class:`repro.analysis.cluster_sweep.ClusterExperimentConfig`).
+    """
+
+    platform: Platform | None = None
     router: Router | str = "least-outstanding"
     initial_replicas: int = 2
     min_replicas: int = 1
@@ -50,10 +59,21 @@ class AutoscaleExperimentConfig:
     block_size: int = 1
     chunked_prefill_tokens: int | None = None
     token_capacity_override: int | None = None
+    capacity_scale: float | None = None
     reject_when_saturated: bool = False
+    platforms: Sequence[Platform] | None = None
     limits: SimulationLimits = field(default_factory=SimulationLimits)
     #: event-jump fast path; ``False`` bisects against the reference loop.
     fast_path: bool = True
+
+    @property
+    def primary_platform(self) -> Platform:
+        """The homogeneous platform, or the first of the heterogeneous cycle."""
+        if self.platform is not None:
+            return self.platform
+        if self.platforms:
+            return self.platforms[0]
+        raise ValueError("exactly one of platform / platforms is required")
 
     def build_autoscaler(self, policy: AutoscalerPolicy | str, **policy_kwargs) -> Autoscaler:
         """Instantiate a fresh autoscaler around the given policy."""
@@ -89,7 +109,9 @@ class AutoscaleExperimentConfig:
             block_size=self.block_size,
             chunked_prefill_tokens=self.chunked_prefill_tokens,
             token_capacity_override=self.token_capacity_override,
+            capacity_scale=self.capacity_scale,
             reject_when_saturated=self.reject_when_saturated,
+            platforms=self.platforms,
             autoscaler=autoscaler,
             limits=self.limits,
             fast_path=self.fast_path,
@@ -97,7 +119,7 @@ class AutoscaleExperimentConfig:
 
     def default_sla(self) -> SLASpec:
         """The paper's SLA preset for the configured model."""
-        return sla_for_model(self.platform.model.name)
+        return sla_for_model(self.primary_platform.model.name)
 
 
 def run_autoscale_experiment(

@@ -10,6 +10,7 @@ placement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.hardware.platform import Platform
 from repro.serving.cluster import ClusterSimulator
@@ -22,19 +23,38 @@ from repro.workloads.spec import Workload
 
 @dataclass
 class ClusterExperimentConfig:
-    """Everything needed to reproduce one cluster serving run."""
+    """Everything needed to reproduce one cluster serving run.
 
-    platform: Platform
+    Exactly one of ``platform`` (homogeneous fleet) / ``platforms``
+    (heterogeneous fleet; replicas cycle through the list in launch order)
+    must be set.  ``capacity_scale`` is the scaled-experiment knob for
+    heterogeneous fleets: it multiplies each replica's *own* platform
+    capacity, preserving the capacity ratios an absolute
+    ``token_capacity_override`` would erase.
+    """
+
+    platform: Platform | None = None
     num_replicas: int = 4
     scheduler_name: str = "past-future"
     scheduler_kwargs: dict = field(default_factory=dict)
     block_size: int = 1
     chunked_prefill_tokens: int | None = None
     token_capacity_override: int | None = None
+    capacity_scale: float | None = None
     reject_when_saturated: bool = False
+    platforms: Sequence[Platform] | None = None
     limits: SimulationLimits = field(default_factory=SimulationLimits)
     #: event-jump fast path; ``False`` bisects against the reference loop.
     fast_path: bool = True
+
+    @property
+    def primary_platform(self) -> Platform:
+        """The homogeneous platform, or the first of the heterogeneous cycle."""
+        if self.platform is not None:
+            return self.platform
+        if self.platforms:
+            return self.platforms[0]
+        raise ValueError("exactly one of platform / platforms is required")
 
     def build_simulator(self, router: Router | str) -> ClusterSimulator:
         """Instantiate a fresh fleet behind the given router."""
@@ -47,14 +67,16 @@ class ClusterExperimentConfig:
             block_size=self.block_size,
             chunked_prefill_tokens=self.chunked_prefill_tokens,
             token_capacity_override=self.token_capacity_override,
+            capacity_scale=self.capacity_scale,
             reject_when_saturated=self.reject_when_saturated,
+            platforms=self.platforms,
             limits=self.limits,
             fast_path=self.fast_path,
         )
 
     def default_sla(self) -> SLASpec:
         """The paper's SLA preset for the configured model."""
-        return sla_for_model(self.platform.model.name)
+        return sla_for_model(self.primary_platform.model.name)
 
 
 def run_cluster_experiment(
@@ -103,4 +125,22 @@ def fleet_table(results: dict[str, ClusterResult], sla: SLASpec) -> list[dict[st
         row: dict[str, object] = {"router": name}
         row.update(result.fleet_summary(sla).as_row())
         rows.append(row)
+    return rows
+
+
+def fleet_class_table(
+    results: dict[str, ClusterResult], sla: SLASpec
+) -> list[dict[str, object]]:
+    """Per-router, per-SLA-class rows (the fig12 breakdown).
+
+    Each row carries one class slice of one router's run: goodput, goodput
+    per (fleet-wide) replica-second, attainment under the class's own
+    deadlines, and rejects attributed to the class.
+    """
+    rows: list[dict[str, object]] = []
+    for name, result in results.items():
+        for class_row in result.fleet_summary(sla).class_rows():
+            row: dict[str, object] = {"router": name}
+            row.update(class_row)
+            rows.append(row)
     return rows

@@ -100,6 +100,27 @@ class CostModel:
         compute_time = flops / (self.platform.aggregate_flops * self.compute_efficiency)
         return max(memory_time, compute_time)
 
+    @property
+    def effective_decode_bandwidth(self) -> float:
+        """Bytes/s the decode roofline can actually stream on this platform.
+
+        Decode is memory-bound, so this single scalar — aggregate bandwidth
+        discounted by the empirical efficiency factor — is the speed axis on
+        which replicas of different GPU generations compare.
+        """
+        return self.platform.aggregate_bandwidth * self.bandwidth_efficiency
+
+    def relative_speed(self, reference: "CostModel") -> float:
+        """Decode speed of this platform relative to ``reference`` (1.0 = equal).
+
+        Used by :class:`~repro.serving.cluster.ClusterSimulator` to stamp
+        each :class:`~repro.serving.routing.ReplicaView` with a
+        ``speed_factor`` normalised against the fastest platform in the
+        fleet, so routers can weigh headroom against replica speed without
+        re-deriving hardware numbers.
+        """
+        return self.effective_decode_bandwidth / reference.effective_decode_bandwidth
+
     def vision_seconds(self, images_encoded: int) -> float:
         """Vision-encoder time for multimodal admissions."""
         if images_encoded <= 0:

@@ -13,6 +13,7 @@ KV footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.hardware.gpus import GPUConfig, get_gpu
 from repro.hardware.models import ModelConfig, get_model
@@ -118,3 +119,36 @@ def paper_platform(key: str) -> Platform:
         known = ", ".join(sorted(PAPER_PLATFORMS))
         raise KeyError(f"unknown platform key {key!r}; known: {known}") from None
     return make_platform(model_name, gpu_name, tp)
+
+
+def ensure_single_model(platforms: "Sequence[Platform]") -> None:
+    """Validate that every platform of a fleet serves the same model.
+
+    Replicas are interchangeable backends of one service, so a fleet may mix
+    GPU generations but never models.
+
+    Raises:
+        PlatformError: naming the offending models otherwise.
+    """
+    models = {platform.model.name for platform in platforms}
+    if len(models) > 1:
+        raise PlatformError(f"a fleet must serve one model, got {sorted(models)}")
+
+
+def paper_platforms(*keys: str) -> list[Platform]:
+    """Resolve several platform keys at once, preserving order.
+
+    Convenience for heterogeneous fleets — real clusters mix accelerator
+    generations, and :class:`~repro.serving.cluster.ClusterSimulator` accepts
+    the resulting list directly::
+
+        ClusterSimulator(platforms=paper_platforms("7b-a100", "7b-a100", "7b-4090"), ...)
+
+    Every platform in one fleet must serve the same model (see
+    :func:`ensure_single_model`); mixing models raises.
+    """
+    if not keys:
+        raise ValueError("at least one platform key is required")
+    platforms = [paper_platform(key) for key in keys]
+    ensure_single_model(platforms)
+    return platforms

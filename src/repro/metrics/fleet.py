@@ -19,13 +19,13 @@ planner actually compares across routing policies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass, field as dataclass_field
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.engine.request import Request
-from repro.metrics.goodput import summarize_throughput
+from repro.metrics.goodput import summarize_throughput, summarize_throughput_by_class
 from repro.metrics.latency import finished_requests, mean_tpots, percentile, ttfts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving imports metrics)
@@ -82,6 +82,36 @@ def total_replica_seconds(lifetimes: Sequence[ReplicaLifetime], end_time: float)
 
 
 @dataclass(frozen=True)
+class ClassSummary:
+    """Per-SLA-class slice of a fleet summary.
+
+    ``goodput_per_replica_second`` divides the class goodput by the *whole
+    fleet's* provisioned replica-seconds — the cost is shared infrastructure,
+    so class slices add up to the fleet-level figure.
+    """
+
+    sla_class: str
+    submitted_requests: int
+    rejected_requests: int
+    finished_requests: int
+    total_output_tokens: int
+    goodput: float
+    sla_attainment: float
+    goodput_per_replica_second: float = 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Dictionary row for table rendering."""
+        return {
+            "class": self.sla_class,
+            "goodput_tok_s": round(self.goodput, 1),
+            "goodput_per_rs": round(self.goodput_per_replica_second, 2),
+            "finished": self.finished_requests,
+            "sla_attainment": f"{self.sla_attainment:.1%}",
+            "rejected": self.rejected_requests,
+        }
+
+
+@dataclass(frozen=True)
 class FleetSummary:
     """Aggregate outcome of one cluster serving run."""
 
@@ -102,6 +132,9 @@ class FleetSummary:
     replica_seconds: float = 0.0
     goodput_per_replica_second: float = 0.0
     avg_fleet_size: float = 0.0
+    #: per-SLA-class slices, keyed by class name; a single-class run gets one
+    #: entry (the default ``interactive`` class).
+    per_class: Mapping[str, ClassSummary] = dataclass_field(default_factory=dict)
 
     def as_row(self) -> dict[str, object]:
         """Dictionary row for table rendering."""
@@ -117,6 +150,10 @@ class FleetSummary:
             "imbalance_cv": round(self.load_imbalance, 3),
             "rejected": self.rejected_requests,
         }
+
+    def class_rows(self) -> list[dict[str, object]]:
+        """One table row per SLA class, in sorted class order."""
+        return [self.per_class[name].as_row() for name in sorted(self.per_class)]
 
 
 def load_imbalance(per_replica_loads: Sequence[float]) -> float:
@@ -140,7 +177,7 @@ def summarize_fleet(
     per_replica_requests: Sequence[Sequence[Request]],
     duration: float,
     sla: "SLASpec",
-    rejected: int = 0,
+    rejected: int | Sequence[Request] = 0,
     replica_seconds: float | None = None,
 ) -> FleetSummary:
     """Aggregate per-replica request lists into one fleet summary.
@@ -149,8 +186,12 @@ def summarize_fleet(
         per_replica_requests: every request each replica served (one inner
             sequence per replica, finished or not).
         duration: fleet makespan in seconds.
-        sla: the SLA deciding goodput credit and attainment.
-        rejected: requests the router turned away before any replica saw them.
+        sla: the SLA deciding goodput credit and attainment (per-class
+            deadlines apply when the spec carries them).
+        rejected: requests the router turned away before any replica saw
+            them — either a bare count, or the rejected :class:`Request`
+            objects themselves, which additionally yields per-class rejection
+            counts in :attr:`FleetSummary.per_class`.
         replica_seconds: provisioned replica-time of the run; defaults to a
             static fleet (every replica alive for the whole makespan).
     """
@@ -158,6 +199,8 @@ def summarize_fleet(
         raise ValueError("duration must be non-negative")
     if replica_seconds is None:
         replica_seconds = len(per_replica_requests) * duration
+    rejected_requests: list[Request] = [] if isinstance(rejected, int) else list(rejected)
+    num_rejected = rejected if isinstance(rejected, int) else len(rejected_requests)
     all_requests: list[Request] = [r for replica in per_replica_requests for r in replica]
     throughput = summarize_throughput(all_requests, duration, sla)
     done = finished_requests(all_requests)
@@ -167,11 +210,36 @@ def summarize_fleet(
         sum(r.generated_tokens for r in replica if r.is_finished)
         for replica in per_replica_requests
     ]
+    per_class: dict[str, ClassSummary] = {}
+    class_throughput = summarize_throughput_by_class(all_requests, duration, sla)
+    rejected_by_class: dict[str, int] = {}
+    for request in rejected_requests:
+        name = request.spec.sla_class
+        rejected_by_class[name] = rejected_by_class.get(name, 0) + 1
+    for name in sorted(set(class_throughput) | set(rejected_by_class)):
+        slice_summary = class_throughput.get(name)
+        submitted = sum(
+            1 for r in all_requests if r.spec.sla_class == name
+        ) + rejected_by_class.get(name, 0)
+        per_class[name] = ClassSummary(
+            sla_class=name,
+            submitted_requests=submitted,
+            rejected_requests=rejected_by_class.get(name, 0),
+            finished_requests=slice_summary.finished_requests if slice_summary else 0,
+            total_output_tokens=slice_summary.total_output_tokens if slice_summary else 0,
+            goodput=slice_summary.goodput if slice_summary else 0.0,
+            sla_attainment=slice_summary.compliance_rate if slice_summary else 0.0,
+            goodput_per_replica_second=(
+                slice_summary.goodput * duration / replica_seconds
+                if slice_summary and replica_seconds > 0
+                else 0.0
+            ),
+        )
     return FleetSummary(
         num_replicas=len(per_replica_requests),
         duration=duration,
-        submitted_requests=len(all_requests) + rejected,
-        rejected_requests=rejected,
+        submitted_requests=len(all_requests) + num_rejected,
+        rejected_requests=num_rejected,
         finished_requests=throughput.finished_requests,
         total_output_tokens=throughput.total_output_tokens,
         goodput=throughput.goodput,
@@ -189,4 +257,5 @@ def summarize_fleet(
         avg_fleet_size=(
             replica_seconds / duration if duration > 0 else float(len(per_replica_requests))
         ),
+        per_class=per_class,
     )

@@ -74,6 +74,28 @@ def summarize_throughput(
     )
 
 
+def summarize_throughput_by_class(
+    requests: Sequence[Request],
+    duration: float,
+    sla: "SLASpec",
+) -> dict[str, ThroughputSummary]:
+    """Per-SLA-class throughput/goodput summaries for a completed run.
+
+    Requests are grouped by :attr:`~repro.workloads.spec.RequestSpec.sla_class`
+    and each group is summarised over the *same* measurement window, so class
+    goodputs add up to the fleet goodput.  Compliance uses each class's own
+    deadlines via :meth:`SLASpec.request_compliant`.  Keys are sorted for
+    deterministic iteration.
+    """
+    by_class: dict[str, list[Request]] = {}
+    for request in requests:
+        by_class.setdefault(request.spec.sla_class, []).append(request)
+    return {
+        name: summarize_throughput(by_class[name], duration, sla)
+        for name in sorted(by_class)
+    }
+
+
 def eviction_rate(requests: Sequence[Request]) -> float:
     """Evictions per request (can exceed 1.0 when requests are evicted repeatedly)."""
     if not requests:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.registry import instantiate
 from repro.schedulers.aggressive import AggressiveScheduler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.conservative import ConservativeScheduler
@@ -42,13 +43,10 @@ def create_scheduler(name: str, **kwargs) -> Scheduler:
 
     Raises:
         KeyError: if the name is unknown.
+        TypeError: if a keyword argument is not accepted by the scheduler,
+            listing the keywords it does accept (where introspectable).
     """
-    try:
-        factory = SCHEDULER_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(SCHEDULER_REGISTRY))
-        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
-    return factory(**kwargs)
+    return instantiate("scheduler", SCHEDULER_REGISTRY, name, kwargs)
 
 
 def available_schedulers() -> list[str]:

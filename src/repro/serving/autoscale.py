@@ -12,7 +12,7 @@ Three policies are provided, in increasing order of foresight:
 * :class:`StaticPolicy` — never changes the fleet; the peak-provisioned
   baseline every elastic policy is compared against.
 * :class:`ReactivePolicy` — classic threshold autoscaling: scale up when the
-  windowed :attr:`~repro.serving.routing.ReplicaSnapshot.saturated` rate of
+  windowed :attr:`~repro.serving.routing.ReplicaView.saturated` rate of
   recent arrivals crosses a high watermark, scale down when it falls below a
   low watermark, with hysteresis (the gap between watermarks) and a cooldown
   between actions.  It only reacts *after* saturation is observed, so every
@@ -47,20 +47,29 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.engine.request import Request
-from repro.serving.routing import MemoryAwareRouter, ReplicaSnapshot
+from repro.registry import instantiate
+from repro.serving.routing import MemoryAwareRouter, ReplicaView
 
 
 @dataclass(frozen=True)
 class FleetView:
     """Everything an autoscaling policy may observe at one decision point.
 
-    Like :class:`~repro.serving.routing.ReplicaSnapshot` for routers, the
-    view contains only operator-visible state — queue depths, KV occupancy,
+    Like :class:`~repro.serving.routing.ReplicaView` for routers, the view
+    contains only operator-visible state — queue depths, KV occupancy,
     windowed traffic statistics — never the hidden true output lengths.
+
+    Heterogeneous fleets (see ``ClusterSimulator(platforms=...)``) mix
+    replicas of very different KV capacities, so the view carries the
+    capacity totals policies need to reason in **capacity units**
+    ("A100-equivalents") rather than replica counts: per-replica capacities
+    ride on each snapshot, ``warming_capacity`` accounts for capacity already
+    bought but not yet routable, and ``launch_capacity`` is what the *next*
+    scale-up would add.
 
     Attributes:
         time: fleet clock at the decision instant.
-        snapshots: one :class:`ReplicaSnapshot` per *routable* (active)
+        snapshots: one :class:`ReplicaView` per *routable* (active)
             replica; warming and draining replicas are summarised by count.
         num_warming: replicas launched but still inside their warm-up delay.
         num_draining: replicas finishing resident work before retiring.
@@ -68,15 +77,20 @@ class FleetView:
             inside the sampling window (0.0 when the window is empty).
         arrival_rate: arrivals per second over the sampling window.
         mean_arrival_tokens: mean prompt tokens of those arrivals.
+        warming_capacity: summed KV token capacity of warming replicas.
+        launch_capacity: KV token capacity the next launched replica would
+            have (0 when the cluster did not report it).
     """
 
     time: float
-    snapshots: tuple[ReplicaSnapshot, ...]
+    snapshots: tuple[ReplicaView, ...]
     num_warming: int = 0
     num_draining: int = 0
     saturation_rate: float = 0.0
     arrival_rate: float = 0.0
     mean_arrival_tokens: float = 0.0
+    warming_capacity: int = 0
+    launch_capacity: int = 0
 
     @property
     def num_active(self) -> int:
@@ -106,6 +120,32 @@ class FleetView:
         if not self.snapshots:
             return 0
         return self.snapshots[0].token_capacity
+
+    @property
+    def active_capacity(self) -> int:
+        """Summed KV token capacity of the routable fleet."""
+        return sum(s.token_capacity for s in self.snapshots)
+
+    @property
+    def provisioned_capacity(self) -> int:
+        """Capacity currently paid for: active plus warming token slots."""
+        return self.active_capacity + self.warming_capacity
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every replica (and the next launch) has one capacity.
+
+        Policies use this to keep the simple replica-count arithmetic on
+        homogeneous fleets (bit-identical to the pre-heterogeneity
+        behaviour) and switch to capacity-unit arithmetic otherwise.
+        """
+        capacities = {s.token_capacity for s in self.snapshots}
+        if len(capacities) > 1:
+            return False
+        capacity = next(iter(capacities), self.launch_capacity)
+        if self.launch_capacity and self.launch_capacity != capacity:
+            return False
+        return self.warming_capacity == self.num_warming * capacity
 
 
 class AutoscalerPolicy(abc.ABC):
@@ -241,7 +281,13 @@ class PredictivePolicy(AutoscalerPolicy):
        observed prompt plus the window's mean output length.
 
     The target fleet size is the smallest one keeping predicted demand under
-    ``target_utilization`` of aggregate capacity.  Scale-up is immediate —
+    ``target_utilization`` of aggregate capacity.  On heterogeneous fleets
+    the policy reasons in **capacity units** rather than replica counts:
+    predicted demand is compared against the token capacity already
+    provisioned (active + warming, per-replica capacities from the
+    :class:`FleetView`), and the deficit is bought in units of the next
+    launch's capacity — "how many A100-equivalents are missing", not "how
+    many replicas".  Scale-up is immediate —
     the whole point is to absorb the warm-up delay before the burst peaks —
     while scale-down steps one replica per ``scale_down_cooldown`` so a lull
     inside a burst train does not flap the fleet.
@@ -311,7 +357,18 @@ class PredictivePolicy(AutoscalerPolicy):
         if capacity <= 0:
             return current
         demand = self.predicted_fleet_demand_tokens(view)
-        needed = max(1, math.ceil(demand / (self.target_utilization * capacity)))
+        if view.is_homogeneous or view.launch_capacity <= 0:
+            # Replica-count arithmetic: every replica contributes the same
+            # capacity, so the target is simply demand over one replica's
+            # budget (identical to the pre-heterogeneity behaviour).
+            needed = max(1, math.ceil(demand / (self.target_utilization * capacity)))
+        else:
+            # Capacity-unit arithmetic ("A100-equivalents"): replicas differ
+            # in KV capacity, so compare predicted demand against the
+            # *capacity* already provisioned and buy the deficit in units of
+            # the next launch's capacity.
+            deficit = demand / self.target_utilization - view.provisioned_capacity
+            needed = max(1, current + math.ceil(deficit / view.launch_capacity))
         if needed >= current:
             return needed
         # Shrink at most one replica per cooldown; forecasts dip faster than
@@ -320,6 +377,15 @@ class PredictivePolicy(AutoscalerPolicy):
             return current
         if view.queued_requests > 0:
             return current
+        if not view.is_homogeneous and view.snapshots:
+            # Scale-down retires a whole replica of the cluster's choosing,
+            # which on a mixed fleet may be the *largest* one.  Only shrink
+            # when the capacity surplus covers that worst case, or a dip
+            # worth one small replica would retire a big one and the next
+            # decision would immediately re-buy it (warm-up flapping).
+            surplus = view.provisioned_capacity - demand / self.target_utilization
+            if surplus < max(s.token_capacity for s in view.snapshots):
+                return current
         self._last_shrink = view.time
         return current - 1
 
@@ -429,7 +495,7 @@ class Autoscaler:
         return self._next_decision
 
     def note_arrival(self, time: float, saturated_fraction: float, prompt_tokens: int) -> None:
-        """Record the fleet state one routed arrival observed."""
+        """Record the fleet state one newly arrived (not re-deferred) request observed."""
         self._samples.append(_ArrivalSample(time, saturated_fraction, prompt_tokens))
         self._trim(time)
 
@@ -441,9 +507,11 @@ class Autoscaler:
     def make_view(
         self,
         time: float,
-        snapshots: Sequence[ReplicaSnapshot],
+        snapshots: Sequence[ReplicaView],
         num_warming: int = 0,
         num_draining: int = 0,
+        warming_capacity: int = 0,
+        launch_capacity: int = 0,
     ) -> FleetView:
         """Assemble the policy-facing view for one decision instant."""
         self._trim(time)
@@ -467,18 +535,24 @@ class Autoscaler:
             saturation_rate=saturation_rate,
             arrival_rate=arrival_rate,
             mean_arrival_tokens=mean_tokens,
+            warming_capacity=warming_capacity,
+            launch_capacity=launch_capacity,
         )
 
     # -------------------------------------------------------------- deciding
     def evaluate(
         self,
         time: float,
-        snapshots: Sequence[ReplicaSnapshot],
+        snapshots: Sequence[ReplicaView],
         num_warming: int = 0,
         num_draining: int = 0,
+        warming_capacity: int = 0,
+        launch_capacity: int = 0,
     ) -> int:
         """Run one decision: build the view, ask the policy, clamp, record."""
-        view = self.make_view(time, snapshots, num_warming, num_draining)
+        view = self.make_view(
+            time, snapshots, num_warming, num_draining, warming_capacity, launch_capacity
+        )
         target = max(self.min_replicas, min(self.max_replicas, self.policy.target_size(view)))
         self.decisions.append(
             AutoscaleDecision(
@@ -522,13 +596,10 @@ def create_autoscale_policy(name: str, **kwargs) -> AutoscalerPolicy:
 
     Raises:
         KeyError: if the name is unknown.
+        TypeError: if a keyword argument is not accepted by the policy,
+            listing the keywords it does accept.
     """
-    try:
-        factory = AUTOSCALE_POLICY_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(AUTOSCALE_POLICY_REGISTRY))
-        raise KeyError(f"unknown autoscale policy {name!r}; known: {known}") from None
-    return factory(**kwargs)
+    return instantiate("autoscale policy", AUTOSCALE_POLICY_REGISTRY, name, kwargs)
 
 
 def available_autoscale_policies() -> list[str]:

@@ -12,7 +12,21 @@ whose batch has the most predicted headroom.
 admission scheduler and KV-cache pool — plus one
 :class:`~repro.serving.routing.Router` and, optionally, one
 :class:`~repro.serving.autoscale.Autoscaler` that grows and shrinks the fleet
-during the run.  The simulation is event-driven over four event types:
+during the run.  Fleets may be **heterogeneous**: pass
+``platforms=[a100, a100, rtx4090]`` and replicas cycle through the platform
+list as they launch, each with its own KV capacity, cost model, and relative
+decode speed — all visible to routers via the per-replica
+:class:`~repro.serving.routing.ReplicaView`.
+
+Routing is decision-based: the router returns a
+:class:`~repro.serving.routing.RoutingDecision` — ``route`` places the
+request, ``reject`` turns it away (reported in
+:attr:`~repro.serving.results.ClusterResult.rejected` with per-reason
+counts), and ``defer`` parks it for a later routing attempt (the simulator
+re-runs the decision at ``retry_at``; the request's arrival timestamp — and
+therefore its TTFT — still counts from the original arrival).
+
+The simulation is event-driven over five event types:
 
 1. **warm-up completion** — a launched replica finishes its warm-up delay and
    becomes routable;
@@ -20,12 +34,12 @@ during the run.  The simulation is event-driven over four event types:
    decision interval; scale-up launches warming replicas, scale-down drains
    the least-loaded active replica (no new placements, resident work runs to
    completion, then it retires);
-3. **arrival** — the next request of the load generator arrives; the router
-   inspects a :class:`~repro.serving.routing.ReplicaSnapshot` per *routable*
-   replica and the request joins the chosen replica's waiting queue (or is
-   rejected when every routable replica is saturated and admission control is
-   on);
-4. **replica step** — the replica with the earliest local clock among those
+3. **arrival** — the next request of the load generator arrives and the
+   router decides its fate over a :class:`~repro.serving.routing.ReplicaView`
+   per *routable* replica;
+4. **defer retry** — a previously deferred request reaches its ``retry_at``
+   instant and is routed again;
+5. **replica step** — the replica with the earliest local clock among those
    with work (active or draining) runs one continuous-batching iteration,
    advancing its clock by the iteration's modelled latency.
 
@@ -33,28 +47,36 @@ Replica clocks advance independently (real replicas do not share a decode
 cadence); the fleet makespan is the latest replica clock when the run drains.
 Replica ids are assigned at launch and never reused, so after any scale-down
 the routable id set is non-contiguous — routers must treat
-``ReplicaSnapshot.replica_id`` as an opaque key, and the simulator raises if
-a router returns the id of a warming, draining, or retired replica.
+``ReplicaView.replica_id`` as an opaque key, and the simulator raises if a
+router routes to the id of a warming, draining, or retired replica.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.engine.cost_model import CostModel
 from repro.engine.engine import InferenceEngine
 from repro.engine.eviction import EvictionPolicy
 from repro.engine.request import Request
-from repro.hardware.platform import Platform
+from repro.hardware.platform import Platform, ensure_single_model
 from repro.metrics.fleet import FleetSizeSample, ReplicaLifetime
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
 from repro.serving.results import ClusterResult, RunResult
-from repro.serving.routing import ReplicaSnapshot, Router, create_router
+from repro.serving.routing import (
+    REASON_SATURATED,
+    ReplicaView,
+    Router,
+    RoutingDecision,
+    create_router,
+)
 from repro.serving.server import LoadGenerator, SimulationLimits
 from repro.workloads.spec import RequestSpec, Workload
 
@@ -78,6 +100,8 @@ class _Replica:
 
     index: int
     engine: InferenceEngine
+    platform: Platform
+    speed_factor: float = 1.0
     state: ReplicaState = ReplicaState.ACTIVE
     launched_at: float = 0.0
     ready_at: float = 0.0
@@ -105,12 +129,12 @@ class _Replica:
             retired_at=self.retired_at,
         )
 
-    def snapshot(self) -> ReplicaSnapshot:
+    def snapshot(self) -> ReplicaView:
         """Scheduler-visible state handed to the router."""
         engine = self.engine
         running = list(engine.batch)
         waiting = list(engine.waiting)
-        return ReplicaSnapshot(
+        return ReplicaView(
             replica_id=self.index,
             token_capacity=engine.token_capacity,
             used_tokens=engine.pool.used_tokens,
@@ -120,14 +144,30 @@ class _Replica:
             running_remaining_cap_tokens=tuple(r.remaining_cap_tokens for r in running),
             waiting_generated_tokens=tuple(r.generated_tokens for r in waiting),
             waiting_remaining_cap_tokens=tuple(r.remaining_cap_tokens for r in waiting),
+            platform=self.platform,
+            speed_factor=self.speed_factor,
         )
 
 
+@dataclass(frozen=True)
+class _DeferredArrival:
+    """One request parked by a ``defer`` decision, keyed for the retry heap."""
+
+    retry_at: float
+    sequence: int
+    spec: RequestSpec
+    arrived_at: float
+
+    def __lt__(self, other: "_DeferredArrival") -> bool:
+        return (self.retry_at, self.sequence) < (other.retry_at, other.sequence)
+
+
 class ClusterSimulator:
-    """Drives an (optionally elastic) fleet of inference engines.
+    """Drives an (optionally elastic, optionally heterogeneous) engine fleet.
 
     Args:
-        platform: deployment target of every replica (homogeneous fleet).
+        platform: deployment target shared by every replica (homogeneous
+            fleet); exactly one of ``platform`` / ``platforms`` is required.
         num_replicas: initial number of independent engines; with an
             ``autoscaler`` this is only the starting size.
         router: placement policy, as a :class:`Router` instance or a registry
@@ -143,14 +183,27 @@ class ClusterSimulator:
             fresh engine, empty scheduler history).
         eviction_policy_factory: per-replica eviction policy builder
             (engines must not share mutable policy state).
+        cost_model: explicit latency model; homogeneous fleets only (each
+            heterogeneous replica derives its own from its platform).
         block_size: KV-cache block size in tokens.
         chunked_prefill_tokens: per-iteration prefill-token cap per replica.
         token_capacity_override: replaces each replica's KV token capacity
-            (scaled experiments).
-        reject_when_saturated: when every routable replica is saturated, turn
-            new arrivals away instead of queueing them (cluster-level
-            admission control); rejected requests never execute but are
-            reported.
+            with one absolute value (scaled homogeneous experiments).
+        capacity_scale: multiplies each replica's *own* platform capacity
+            instead — the scaled-experiment knob for heterogeneous fleets,
+            where one absolute override would erase the capacity differences
+            under study.  Mutually exclusive with ``token_capacity_override``.
+        reject_when_saturated: convenience knob applying the same admission
+            policy routers can carry themselves (see :class:`Router`): when
+            every routable replica is saturated, new arrivals are turned away
+            instead of queued; rejected requests never execute but are
+            reported.  Checked at the cluster level, so a caller-supplied
+            router instance is never mutated.
+        platforms: per-replica deployment targets for a heterogeneous fleet.
+            Replicas cycle through this list in launch order (the initial
+            fleet and every autoscaler launch), so a two-entry list behind a
+            six-replica fleet alternates platforms.  All platforms must serve
+            the same model.
         autoscaler: elastic-fleet driver (see
             :mod:`repro.serving.autoscale`); ``None`` keeps the fleet fixed
             at ``num_replicas``.
@@ -159,16 +212,17 @@ class ClusterSimulator:
         fast_path: let replicas fuse provably event-free decode iterations
             into macro-steps (see :meth:`InferenceEngine.try_jump`), bounded
             so every cross-replica observation point (arrival routing,
-            autoscale decisions, warm-up completions, and — for closed-loop
-            clients — any other replica's steps) sees bit-identical state;
-            ``False`` forces the reference one-iteration loop for bisection.
+            autoscale decisions, warm-up completions, defer retries, and —
+            for closed-loop clients — any other replica's steps) sees
+            bit-identical state; ``False`` forces the reference
+            one-iteration loop for bisection.
     """
 
     def __init__(
         self,
-        platform: Platform,
-        num_replicas: int,
-        router: Router | str,
+        platform: Platform | None = None,
+        num_replicas: int = 1,
+        router: Router | str = "round-robin",
         scheduler_name: str = "past-future",
         scheduler_kwargs: dict | None = None,
         scheduler_factory: Callable[[], Scheduler] | None = None,
@@ -177,11 +231,17 @@ class ClusterSimulator:
         block_size: int = 1,
         chunked_prefill_tokens: int | None = None,
         token_capacity_override: int | None = None,
+        capacity_scale: float | None = None,
         reject_when_saturated: bool = False,
+        platforms: Sequence[Platform] | None = None,
         autoscaler: Autoscaler | None = None,
         limits: SimulationLimits | None = None,
         fast_path: bool = True,
     ) -> None:
+        if (platform is None) == (platforms is None):
+            raise ValueError("exactly one of platform / platforms is required")
+        if platforms is not None and not platforms:
+            raise ValueError("platforms must not be empty")
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
         if autoscaler is not None and not (
@@ -191,9 +251,26 @@ class ClusterSimulator:
                 "num_replicas must start within the autoscaler's "
                 f"[{autoscaler.min_replicas}, {autoscaler.max_replicas}] bounds"
             )
-        self.platform = platform
+        if token_capacity_override is not None and capacity_scale is not None:
+            raise ValueError("token_capacity_override and capacity_scale are mutually exclusive")
+        if capacity_scale is not None and capacity_scale <= 0:
+            raise ValueError("capacity_scale must be positive")
+        self.platforms: list[Platform] = list(platforms) if platforms is not None else [platform]
+        ensure_single_model(self.platforms)
+        if cost_model is not None and len(self.platforms) > 1:
+            raise ValueError(
+                "an explicit cost_model only applies to homogeneous fleets; "
+                "heterogeneous replicas derive per-platform cost models"
+            )
+        #: first platform of the cycle; the homogeneous fleet's platform.
+        self.platform = self.platforms[0]
         self.router = create_router(router) if isinstance(router, str) else router
-        self.reject_when_saturated = reject_when_saturated
+        # Rejection is a router admission policy in the decision API; the
+        # constructor knob is kept as a convenience and applies the same
+        # check at the cluster level (before the router is consulted, as in
+        # PR 1) rather than mutating a caller-supplied — possibly shared —
+        # router instance.
+        self._force_reject_when_saturated = reject_when_saturated
         self.autoscaler = autoscaler
         self.limits = limits or SimulationLimits()
         self.fast_path = fast_path
@@ -209,15 +286,42 @@ class ClusterSimulator:
         self._block_size = block_size
         self._chunked_prefill_tokens = chunked_prefill_tokens
         self._token_capacity_override = token_capacity_override
+        self._capacity_scale = capacity_scale
+        # Relative decode speed per platform-cycle slot, normalised so the
+        # fastest platform in the fleet is 1.0 (homogeneous fleets: all 1.0).
+        models = [
+            cost_model if cost_model is not None else CostModel(p) for p in self.platforms
+        ]
+        fastest = max(models, key=lambda m: m.effective_decode_bandwidth)
+        self._platform_speeds = [m.relative_speed(fastest) for m in models]
         self.replicas: list[_Replica] = []
         self.fleet_timeline: list[FleetSizeSample] = []
         for _ in range(num_replicas):
             self._launch_replica(0.0, warmup_delay=0.0)
         self.rejected: list[Request] = []
+        self.reject_reasons: Counter[str] = Counter()
+        self.deferrals = 0
+        self._deferred_heap: list[_DeferredArrival] = []
+        self._defer_sequence = 0
         self._deferred_releases = 0
         self._consumed = False
 
     # ------------------------------------------------------------------ state
+    @property
+    def reject_when_saturated(self) -> bool:
+        """Whether arrivals into a fully saturated fleet are rejected.
+
+        True when either the constructor convenience knob or the router's
+        own admission policy (see :class:`~repro.serving.routing.Router`)
+        arms rejection.  Settable, as in PR 1 — assignment toggles the
+        cluster-level knob and leaves the router untouched.
+        """
+        return self._force_reject_when_saturated or self.router.reject_when_saturated
+
+    @reject_when_saturated.setter
+    def reject_when_saturated(self, value: bool) -> None:
+        self._force_reject_when_saturated = value
+
     @property
     def num_replicas(self) -> int:
         """Number of engines ever launched (including retired ones)."""
@@ -236,7 +340,7 @@ class ClusterSimulator:
     def _count(self, state: ReplicaState) -> int:
         return sum(1 for replica in self.replicas if replica.state is state)
 
-    def snapshots(self) -> list[ReplicaSnapshot]:
+    def snapshots(self) -> list[ReplicaView]:
         """Current router-visible state of every *routable* replica."""
         return [replica.snapshot() for replica in self.active_replicas]
 
@@ -258,9 +362,32 @@ class ClusterSimulator:
             self.fleet_timeline.append(sample)
 
     # ------------------------------------------------------------- elasticity
-    def _build_engine(self) -> InferenceEngine:
+    def _platform_slot(self, launch_index: int) -> tuple[Platform, float]:
+        """Platform and speed factor for the ``launch_index``-th replica."""
+        slot = launch_index % len(self.platforms)
+        return self.platforms[slot], self._platform_speeds[slot]
+
+    def _effective_capacity(self, platform: Platform) -> int | None:
+        """Per-replica token-capacity override, or ``None`` for the native one."""
+        if self._token_capacity_override is not None:
+            return self._token_capacity_override
+        if self._capacity_scale is not None:
+            return max(1, int(platform.token_capacity * self._capacity_scale))
+        return None
+
+    def next_launch_capacity(self) -> int:
+        """KV token capacity the *next* launched replica would have.
+
+        The autoscaler consumes this so heterogeneous scale-up is sized in
+        capacity units rather than replica counts.
+        """
+        platform, _ = self._platform_slot(len(self.replicas))
+        override = self._effective_capacity(platform)
+        return override if override is not None else platform.token_capacity
+
+    def _build_engine(self, platform: Platform) -> InferenceEngine:
         return InferenceEngine(
-            platform=self.platform,
+            platform=platform,
             scheduler=self._scheduler_factory(),
             cost_model=self._cost_model,
             eviction_policy=(
@@ -268,16 +395,19 @@ class ClusterSimulator:
             ),
             block_size=self._block_size,
             chunked_prefill_tokens=self._chunked_prefill_tokens,
-            token_capacity_override=self._token_capacity_override,
+            token_capacity_override=self._effective_capacity(platform),
             fast_path=self.fast_path,
         )
 
     def _launch_replica(self, time: float, warmup_delay: float) -> _Replica:
         """Bring up one cold replica; routable after ``warmup_delay``."""
         ready_at = time + warmup_delay
+        platform, speed_factor = self._platform_slot(len(self.replicas))
         replica = _Replica(
             index=len(self.replicas),
-            engine=self._build_engine(),
+            engine=self._build_engine(platform),
+            platform=platform,
+            speed_factor=speed_factor,
             state=ReplicaState.ACTIVE if warmup_delay <= 0 else ReplicaState.WARMING,
             launched_at=time,
             ready_at=ready_at,
@@ -342,49 +472,96 @@ class ClusterSimulator:
 
     def _run_autoscale_decision(self, time: float) -> None:
         assert self.autoscaler is not None
+        warming_capacity = sum(
+            replica.engine.token_capacity
+            for replica in self.replicas
+            if replica.state is ReplicaState.WARMING
+        )
         target = self.autoscaler.evaluate(
             time,
             self.snapshots(),
             num_warming=self._count(ReplicaState.WARMING),
             num_draining=self._count(ReplicaState.DRAINING),
+            warming_capacity=warming_capacity,
+            launch_capacity=self.next_launch_capacity(),
         )
         self._apply_autoscale_target(target, time)
 
     # ---------------------------------------------------------------- routing
-    def _route_arrival(self, spec: RequestSpec, now: float) -> None:
-        request = Request(
-            spec=spec,
-            arrival_time=spec.arrival_time if spec.arrival_time is not None else now,
-        )
+    def _route_arrival(
+        self,
+        spec: RequestSpec,
+        now: float,
+        arrived_at: float | None = None,
+        first_attempt: bool = True,
+    ) -> None:
+        """Run one routing decision for ``spec`` and execute its outcome.
+
+        ``arrived_at`` pins the request's arrival timestamp across defer
+        retries (latency accounting always starts at the original arrival);
+        retries also skip the autoscaler's traffic window so a deferred
+        request is not double-counted as new demand.
+        """
+        if arrived_at is None:
+            arrived_at = spec.arrival_time if spec.arrival_time is not None else now
         routable = {replica.index: replica for replica in self.active_replicas}
-        snapshots = [replica.snapshot() for replica in routable.values()]
-        if self.autoscaler is not None and snapshots:
-            saturated = sum(1 for s in snapshots if s.saturated) / len(snapshots)
+        views = [replica.snapshot() for replica in routable.values()]
+        if first_attempt and self.autoscaler is not None and views:
+            saturated = sum(1 for v in views if v.saturated) / len(views)
             self.autoscaler.note_arrival(now, saturated, spec.prompt_tokens)
-        if self.reject_when_saturated and all(s.saturated for s in snapshots):
-            self.rejected.append(request)
+        if self._force_reject_when_saturated and views and all(v.saturated for v in views):
+            # Cluster-level convenience knob: reject before consulting the
+            # router, exactly as PR 1 did (placement state such as the
+            # round-robin cursor is untouched by rejected arrivals).
+            decision = RoutingDecision.reject(REASON_SATURATED)
+        else:
+            decision = self.router.decide(spec, views, now)
+        if decision.is_reject:
+            self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
+            self.reject_reasons[decision.reason or "unspecified"] += 1
             # The client's slot must be released or a closed-loop pool would
-            # deadlock — but not at this same instant: snapshots only change
-            # when a replica steps, so an immediate release would re-inject
-            # (and re-reject) the client's next request in a zero-time
-            # cascade.  Release it after the next completed iteration, when
-            # the fleet has actually made progress.
+            # deadlock — but not at this same instant: views only change when
+            # a replica steps, so an immediate release would re-inject (and
+            # re-reject) the client's next request in a zero-time cascade.
+            # Release it after the next completed iteration, when the fleet
+            # has actually made progress.
             self._deferred_releases += 1
             return
-        replica_id = self.router.select_replica(spec, snapshots)
-        replica = routable.get(replica_id)
+        if decision.is_defer:
+            assert decision.retry_at is not None
+            if decision.retry_at <= now:
+                raise RuntimeError(
+                    f"router {self.router.name!r} deferred to {decision.retry_at}, which "
+                    f"does not advance past the decision instant {now}; defer targets "
+                    "must be strictly later"
+                )
+            self.deferrals += 1
+            heapq.heappush(
+                self._deferred_heap,
+                _DeferredArrival(
+                    retry_at=decision.retry_at,
+                    sequence=self._defer_sequence,
+                    spec=spec,
+                    arrived_at=arrived_at,
+                ),
+            )
+            self._defer_sequence += 1
+            return
+        assert decision.replica_id is not None
+        replica = routable.get(decision.replica_id)
         if replica is None:
-            known = next((r for r in self.replicas if r.index == replica_id), None)
+            known = next((r for r in self.replicas if r.index == decision.replica_id), None)
             if known is not None:
                 raise RuntimeError(
-                    f"router {self.router.name!r} returned replica {replica_id}, which is "
-                    f"{known.state.value} and must not receive new work; routable ids: "
-                    f"{sorted(routable)}"
+                    f"router {self.router.name!r} routed to replica {decision.replica_id}, "
+                    f"which is {known.state.value} and must not receive new work; "
+                    f"routable ids: {sorted(routable)}"
                 )
             raise RuntimeError(
-                f"router {self.router.name!r} returned invalid replica {replica_id}; "
-                f"routable ids: {sorted(routable)}"
+                f"router {self.router.name!r} routed to invalid replica "
+                f"{decision.replica_id}; routable ids: {sorted(routable)}"
             )
+        request = Request(spec=spec, arrival_time=arrived_at)
         if not replica.engine.has_work():
             # An idle replica resumes at the arrival instant; a busy one keeps
             # its clock and picks the request up at its next iteration.
@@ -414,18 +591,20 @@ class ClusterSimulator:
 
         # Event priorities at equal times: warm-ups complete first (a replica
         # ready at t may serve an arrival at t), decisions see the pre-arrival
-        # fleet, and arrivals join before the step at the same instant
-        # (matching ServingSimulator's "arrivals <= now join this batch").
-        READY, DECIDE, ARRIVAL, STEP = 0, 1, 2, 3
+        # fleet, arrivals join before retries of older deferred requests, and
+        # both join before the step at the same instant (matching
+        # ServingSimulator's "arrivals <= now join this batch").
+        READY, DECIDE, ARRIVAL, RETRY, STEP = 0, 1, 2, 3, 4
 
         while True:
             next_arrival = generator.next_arrival_time()
             busy = [r for r in self.replicas if r.steppable and r.engine.has_work()]
             step_replica = min(busy, key=lambda r: (r.clock, r.index)) if busy else None
 
-            if step_replica is None and next_arrival is None:
-                # No resident work and no future arrivals: the run is drained
-                # (or a closed-loop pool's remaining clients were rejected).
+            if step_replica is None and next_arrival is None and not self._deferred_heap:
+                # No resident work, no future arrivals, nothing deferred: the
+                # run is drained (or a closed-loop pool's remaining clients
+                # were rejected).
                 break
 
             events: list[tuple[float, int]] = []
@@ -436,6 +615,8 @@ class ClusterSimulator:
                 events.append((self.autoscaler.next_decision_time, DECIDE))
             if next_arrival is not None:
                 events.append((next_arrival, ARRIVAL))
+            if self._deferred_heap:
+                events.append((self._deferred_heap[0].retry_at, RETRY))
             if step_replica is not None:
                 events.append((step_replica.clock, STEP))
             time, kind = min(events)
@@ -450,6 +631,13 @@ class ClusterSimulator:
                 for spec in generator.pop_arrivals(time):
                     self._route_arrival(spec, time)
                 continue
+            if kind == RETRY:
+                while self._deferred_heap and self._deferred_heap[0].retry_at <= time:
+                    deferred = heapq.heappop(self._deferred_heap)
+                    self._route_arrival(
+                        deferred.spec, time, arrived_at=deferred.arrived_at, first_attempt=False
+                    )
+                continue
 
             assert step_replica is not None
             if self.fast_path and not self._deferred_releases:
@@ -458,10 +646,10 @@ class ClusterSimulator:
                 # only the replica's own engine, so they commute with other
                 # replicas' silent iterations; the horizon is the earliest
                 # moment anything can *observe* this replica — a scheduled
-                # arrival (routing snapshots), an autoscale decision, a
-                # warm-up completion, and, when completions generate new
-                # arrivals (closed-loop clients), any other busy replica's
-                # next iteration, which could finish a request whose
+                # arrival (routing views), a defer retry, an autoscale
+                # decision, a warm-up completion, and, when completions
+                # generate new arrivals (closed-loop clients), any other busy
+                # replica's next iteration, which could finish a request whose
                 # follow-up request is routed using this replica's state.
                 horizon = min(
                     (event_time for event_time, kind in events if kind != STEP),
@@ -504,8 +692,8 @@ class ClusterSimulator:
             # release would just feed the next request into the same
             # saturated fleet.
             if self._deferred_releases:
-                open_snapshots = self.snapshots()
-                if open_snapshots and not all(s.saturated for s in open_snapshots):
+                open_views = self.snapshots()
+                if open_views and not all(v.saturated for v in open_views):
                     while self._deferred_releases:
                         self._deferred_releases -= 1
                         generator.on_request_finished(step_replica.clock)
@@ -537,7 +725,7 @@ class ClusterSimulator:
             RunResult(
                 scheduler=replica.engine.scheduler.describe(),
                 workload=workload_name,
-                platform=self.platform.describe(),
+                platform=replica.platform.describe(),
                 num_clients=num_clients,
                 duration=replica.clock,
                 requests=replica.requests,
@@ -548,10 +736,11 @@ class ClusterSimulator:
             )
             for replica in self.replicas
         ]
+        distinct_platforms = dict.fromkeys(p.describe() for p in self.platforms)
         return ClusterResult(
             router=self.router.describe(),
             workload=workload_name,
-            platform=self.platform.describe(),
+            platform=" + ".join(distinct_platforms),
             num_replicas=self.num_replicas,
             duration=makespan,
             replicas=replica_results,
@@ -560,6 +749,8 @@ class ClusterSimulator:
             autoscaler=self.autoscaler.describe() if self.autoscaler is not None else None,
             fleet_timeline=list(self.fleet_timeline),
             lifetimes=[replica.lifetime() for replica in self.replicas],
+            deferrals=self.deferrals,
+            reject_reasons=dict(self.reject_reasons),
         )
 
     def run_closed_loop(

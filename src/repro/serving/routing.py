@@ -1,19 +1,42 @@
 """Request routers for multi-replica cluster serving.
 
-A :class:`Router` answers one question per arriving request: *which replica
-should serve it?*  The :class:`~repro.serving.cluster.ClusterSimulator` hands
-the router a :class:`ReplicaSnapshot` per replica — only scheduler-visible
-state (queue depths, KV occupancy, generated-so-far counts), never the hidden
-true output lengths — and expects back a replica index.
+A :class:`Router` answers one question per arriving request: *what should the
+cluster do with it?*  The :class:`~repro.serving.cluster.ClusterSimulator`
+hands the router a :class:`ReplicaView` per routable replica — only
+scheduler-visible state (queue depths, KV occupancy, generated-so-far counts,
+the replica's platform and relative speed), never the hidden true output
+lengths — and expects back a :class:`RoutingDecision`:
+
+* ``RoutingDecision.route(replica_id)`` — place the request on a replica;
+* ``RoutingDecision.reject(reason)`` — turn the request away (cluster-level
+  admission control is a *router policy*, not an emergent special case);
+* ``RoutingDecision.defer(until)`` — hold the request and re-route it at a
+  later instant (the hook request-migration policies build on).
+
+Routers written against the legacy ``select_replica() -> int`` API keep
+working: the base class adapts their integer return into a ``route`` decision
+(and emits a :class:`DeprecationWarning` once per router instance).
+
+Because a fleet may mix accelerator generations
+(``ClusterSimulator(platforms=[a100, a100, rtx4090])``), replicas can differ
+in both KV capacity and decode speed.  Views therefore expose
+**capacity-normalised** signals — :attr:`ReplicaView.load_fraction`,
+:attr:`ReplicaView.headroom_fraction`, and a :attr:`ReplicaView.speed_factor`
+derived from the cost model — and the load-sensitive routers compare replicas
+on fractions of *their own* capacity rather than absolute token counts, so a
+24 GB card is never mistaken for an 80 GB one.  On homogeneous fleets the
+normalised comparisons order replicas exactly as the absolute ones did.
 
 Four policies are provided, in increasing order of awareness:
 
 * :class:`RoundRobinRouter` — cycles through replicas, load-blind;
 * :class:`LeastOutstandingRouter` — fewest in-flight (running + queued)
-  requests, the classic load-balancer heuristic;
+  requests, the classic load-balancer heuristic (capacity-blind on purpose:
+  it is the baseline heterogeneous fleets expose);
 * :class:`LeastKVLoadRouter` — lowest fractional KV-cache occupancy counting
   queued prompt demand, a memory-*present* policy;
-* :class:`MemoryAwareRouter` — largest predicted future-memory headroom.  It
+* :class:`MemoryAwareRouter` — largest predicted future-memory headroom as a
+  fraction of the replica's own capacity, weighted by replica speed.  It
   maintains the same sliding output-length history the Past-Future scheduler
   uses and evaluates each replica's peak future memory (Eq. 2–4 via
   :func:`repro.core.future_memory.peak_future_memory_arrays`), so a replica
@@ -21,25 +44,115 @@ Four policies are provided, in increasing order of awareness:
   still looks low.
 
 All routers break ties deterministically in favour of the lowest replica
-index, and skip saturated replicas unless every replica is saturated.
+index, and skip saturated replicas unless every replica is saturated.  Every
+router also understands two admission-policy knobs (see :class:`Router`):
+``reject_when_saturated`` and per-SLA-class shedding via ``shed_classes``.
 """
 
 from __future__ import annotations
 
 import abc
+import enum
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.future_memory import peak_future_memory_arrays
 from repro.core.history import OutputLengthHistory
 from repro.engine.request import Request
+from repro.hardware.platform import Platform
+from repro.registry import instantiate
 from repro.workloads.spec import RequestSpec
 
 
+class RoutingAction(enum.Enum):
+    """What the cluster should do with one arriving request."""
+
+    ROUTE = "route"
+    REJECT = "reject"
+    DEFER = "defer"
+
+
+#: Reject reason used when every routable replica is saturated.
+REASON_SATURATED = "saturated"
+
+
+def shed_reason(sla_class: str) -> str:
+    """Reject reason used when a request's SLA class is shed under pressure."""
+    return f"shed:{sla_class}"
+
+
 @dataclass(frozen=True)
-class ReplicaSnapshot:
+class RoutingDecision:
+    """First-class outcome of one routing decision.
+
+    Build instances through the :meth:`route`, :meth:`reject`, and
+    :meth:`defer` constructors rather than directly; each action carries
+    exactly the payload it needs.
+
+    Attributes:
+        action: what the cluster should do with the request.
+        replica_id: target replica (``ROUTE`` only).
+        reason: human-readable rejection reason (``REJECT`` only), used for
+            per-reason bookkeeping in
+            :attr:`repro.serving.results.ClusterResult.reject_reasons`.
+        retry_at: absolute fleet-clock instant at which to re-route the
+            request (``DEFER`` only); must lie strictly after the decision
+            instant or the cluster raises.
+    """
+
+    action: RoutingAction
+    replica_id: int | None = None
+    reason: str | None = None
+    retry_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.action is RoutingAction.ROUTE and self.replica_id is None:
+            raise ValueError("route decisions must name a replica_id")
+        if self.action is not RoutingAction.ROUTE and self.replica_id is not None:
+            raise ValueError("only route decisions may name a replica_id")
+        if self.action is RoutingAction.DEFER and self.retry_at is None:
+            raise ValueError("defer decisions must carry retry_at")
+        if self.action is not RoutingAction.DEFER and self.retry_at is not None:
+            raise ValueError("only defer decisions may carry retry_at")
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def route(cls, replica_id: int) -> "RoutingDecision":
+        """Place the request on ``replica_id``'s waiting queue."""
+        return cls(action=RoutingAction.ROUTE, replica_id=replica_id)
+
+    @classmethod
+    def reject(cls, reason: str = REASON_SATURATED) -> "RoutingDecision":
+        """Turn the request away; it never executes but is reported."""
+        return cls(action=RoutingAction.REJECT, reason=reason)
+
+    @classmethod
+    def defer(cls, until: float) -> "RoutingDecision":
+        """Hold the request and route it again at fleet-clock ``until``."""
+        return cls(action=RoutingAction.DEFER, retry_at=until)
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def is_route(self) -> bool:
+        """Whether the request was placed on a replica."""
+        return self.action is RoutingAction.ROUTE
+
+    @property
+    def is_reject(self) -> bool:
+        """Whether the request was turned away."""
+        return self.action is RoutingAction.REJECT
+
+    @property
+    def is_defer(self) -> bool:
+        """Whether the request is held for a later routing attempt."""
+        return self.action is RoutingAction.DEFER
+
+
+@dataclass(frozen=True)
+class ReplicaView:
     """Scheduler-visible view of one replica at a routing decision.
 
     Attributes:
@@ -58,6 +171,13 @@ class ReplicaSnapshot:
             generated before eviction; empty means all zero.
         waiting_remaining_cap_tokens: per queued request, output tokens its
             ``max_new_tokens`` still allows; empty means unbounded.
+        platform: the replica's deployment target; heterogeneous fleets carry
+            a different platform per replica.  ``None`` for hand-built views
+            in tests and policy code that never inspects hardware.
+        speed_factor: decode speed relative to the fastest platform in the
+            fleet (1.0 for the fastest; see
+            :meth:`repro.engine.cost_model.CostModel.relative_speed`).
+            Homogeneous fleets carry 1.0 everywhere.
     """
 
     replica_id: int
@@ -69,12 +189,16 @@ class ReplicaSnapshot:
     running_remaining_cap_tokens: tuple[int, ...] = ()
     waiting_generated_tokens: tuple[int, ...] = ()
     waiting_remaining_cap_tokens: tuple[int, ...] = ()
+    platform: Platform | None = None
+    speed_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.token_capacity <= 0:
             raise ValueError("token_capacity must be positive")
         if self.used_tokens < 0:
             raise ValueError("used_tokens must be non-negative")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
         if len(self.running_current_tokens) != len(self.running_generated_tokens):
             raise ValueError("running token arrays must be aligned")
         for caps, reference in (
@@ -116,6 +240,29 @@ class ReplicaSnapshot:
         return (self.used_tokens + self.queued_demand_tokens) / self.token_capacity
 
     @property
+    def headroom_tokens(self) -> int:
+        """Token slots left after resident tokens and queued prompt demand.
+
+        Negative when the admission queue already oversubscribes the pool.
+        This is *present-state* headroom; the predicted-peak (Eq. 2–4)
+        counterpart lives on the router that owns the length history —
+        :meth:`MemoryAwareRouter.predicted_headroom_tokens`.
+        """
+        return self.token_capacity - self.used_tokens - self.queued_demand_tokens
+
+    @property
+    def headroom_fraction(self) -> float:
+        """Present headroom as a fraction of *this replica's* capacity.
+
+        The capacity-normalised form of :attr:`headroom_tokens`: 0.3 means
+        the same relative slack on a 24 GB card as on an 80 GB one, which is
+        what makes replicas of different generations comparable.  See
+        :meth:`MemoryAwareRouter.predicted_headroom_fraction` for the
+        predicted-peak counterpart.
+        """
+        return self.headroom_tokens / self.token_capacity
+
+    @property
     def saturated(self) -> bool:
         """Whether the replica cannot absorb more work without stalling.
 
@@ -126,27 +273,136 @@ class ReplicaSnapshot:
         return self.used_tokens + self.queued_demand_tokens >= self.token_capacity
 
 
+#: Deprecated alias for :class:`ReplicaView`, kept for the PR-1/PR-2 API.
+ReplicaSnapshot = ReplicaView
+
+
 class Router(abc.ABC):
-    """Placement policy mapping an arriving request to a replica."""
+    """Placement policy mapping an arriving request to a routing decision.
+
+    Subclasses implement :meth:`decide`.  Routers written against the legacy
+    ``select_replica() -> int`` API still work — the base :meth:`decide`
+    adapts the integer into ``RoutingDecision.route`` and warns once per
+    instance with a :class:`DeprecationWarning`.
+
+    Every router carries two admission-policy knobs, consulted before any
+    placement logic whenever *all* routable replicas are saturated:
+
+    Args:
+        reject_when_saturated: reject any request arriving while every
+            routable replica is saturated (cluster-level admission control);
+            off by default, in which case requests queue on the least-bad
+            replica exactly as before.
+        shed_classes: SLA classes (see
+            :attr:`repro.workloads.spec.RequestSpec.sla_class`) to reject
+            while the fleet is saturated even when ``reject_when_saturated``
+            is off — e.g. shed ``batch`` traffic under pressure so
+            ``interactive`` latency survives the burst.
+        defer_when_saturated: seconds to *defer* (hold and re-route) a
+            request arriving into a fully saturated fleet instead of queueing
+            or rejecting it; ``None`` disables deferral.  Rejection policies
+            take precedence when both apply.
+    """
 
     #: human-readable policy name used in tables and figures.
     name: str = "abstract"
 
-    @abc.abstractmethod
-    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
-        """Return the ``replica_id`` that should serve ``spec``.
+    # Class-level defaults so legacy subclasses that never call
+    # ``super().__init__`` still present the neutral admission policy.
+    reject_when_saturated: bool = False
+    shed_classes: frozenset[str] = frozenset()
+    defer_when_saturated: float | None = None
+    _warned_legacy: bool = False
 
-        Implementations must be deterministic given the same snapshots and
-        internal state, and must return the ``replica_id`` of one of the
-        *given* snapshots.  With an elastic fleet (see
-        :mod:`repro.serving.autoscale`) the snapshot set changes between
-        calls and ids are not contiguous — replicas launch, warm up, drain,
-        and retire, and retired ids are never reused — so ids must be
-        treated as opaque keys, never as list indices.  The
+    def __init__(
+        self,
+        *,
+        reject_when_saturated: bool = False,
+        shed_classes: Iterable[str] = (),
+        defer_when_saturated: float | None = None,
+    ) -> None:
+        if defer_when_saturated is not None and defer_when_saturated <= 0:
+            raise ValueError("defer_when_saturated must be positive when set")
+        self.reject_when_saturated = reject_when_saturated
+        self.shed_classes = frozenset(shed_classes)
+        self.defer_when_saturated = defer_when_saturated
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Neither decide() nor select_replica() is formally abstract (each
+        # has a real body adapting to the other), so restore the
+        # fail-at-definition behaviour an @abstractmethod would give:
+        # a concrete router must override at least one of them.
+        super().__init_subclass__(**kwargs)
+        if (
+            cls.decide is Router.decide
+            and cls.select_replica is Router.select_replica
+        ):
+            raise TypeError(
+                f"{cls.__name__} must implement decide() "
+                "(or the legacy select_replica())"
+            )
+
+    # ------------------------------------------------------------------ API
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        """Decide what the cluster should do with ``spec``.
+
+        Implementations must be deterministic given the same views and
+        internal state; ``route`` decisions must name the ``replica_id`` of
+        one of the *given* views.  With an elastic fleet (see
+        :mod:`repro.serving.autoscale`) the view set changes between calls
+        and ids are not contiguous — replicas launch, warm up, drain, and
+        retire, and retired ids are never reused — so ids must be treated as
+        opaque keys, never as list indices.  The
         :class:`~repro.serving.cluster.ClusterSimulator` raises
-        ``RuntimeError`` if a router returns an id that is absent from the
-        snapshots (e.g. a warming, draining, or retired replica).
+        ``RuntimeError`` if a router routes to an id that is absent from the
+        views (e.g. a warming, draining, or retired replica).
+
+        Args:
+            spec: the arriving request (including its ``sla_class``).
+            views: one :class:`ReplicaView` per routable replica.
+            now: fleet-clock instant of the decision, the base for
+                ``RoutingDecision.defer`` targets.
         """
+        if type(self).select_replica is Router.select_replica:
+            raise TypeError(
+                f"{type(self).__name__} must implement decide() "
+                "(or the legacy select_replica())"
+            )
+        if not self._warned_legacy:
+            warnings.warn(
+                f"{type(self).__name__} implements the legacy "
+                "select_replica() -> int API; implement "
+                "decide() -> RoutingDecision instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._warned_legacy = True
+        rejection = self.admission_check(spec, views, now)
+        if rejection is not None:
+            return rejection
+        return RoutingDecision.route(self.select_replica(spec, views))
+
+    def select_replica(self, spec: RequestSpec, views: Sequence[ReplicaView]) -> int:
+        """Legacy accessor: the ``replica_id`` of this router's decision.
+
+        Kept so call sites written against the PR-1 API keep working with
+        new-style routers; raises if the decision was not a ``route`` (an
+        integer cannot express reject/defer — migrate to :meth:`decide`).
+        """
+        decision = self.decide(spec, views)
+        if not decision.is_route:
+            raise RuntimeError(
+                f"router {self.name!r} decided to {decision.action.value}; "
+                "select_replica() can only express route decisions — "
+                "call decide() instead"
+            )
+        assert decision.replica_id is not None
+        return decision.replica_id
 
     # ------------------------------------------------------------- lifecycle
     def on_run_start(self) -> None:
@@ -156,26 +412,76 @@ class Router(abc.ABC):
         """Called when any replica finishes a request (for learning policies)."""
 
     # -------------------------------------------------------------- utilities
-    @staticmethod
-    def candidates(snapshots: Sequence[ReplicaSnapshot]) -> list[ReplicaSnapshot]:
-        """Routable replicas: the non-saturated ones, or all if none is free."""
-        if not snapshots:
+    def admission_check(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float,
+    ) -> RoutingDecision | None:
+        """Shared saturation policy, evaluated before placement.
+
+        Returns a reject/defer decision when the admission knobs apply (all
+        routable replicas saturated), or ``None`` when the request should be
+        placed.  Runs *before* any placement state is touched, so e.g. the
+        round-robin cursor does not advance on a rejected request.
+        """
+        if not views:
             raise ValueError("cannot route with zero replicas")
-        open_replicas = [s for s in snapshots if not s.saturated]
-        return open_replicas or list(snapshots)
+        if not all(view.saturated for view in views):
+            return None
+        if spec.sla_class in self.shed_classes:
+            return RoutingDecision.reject(shed_reason(spec.sla_class))
+        if self.reject_when_saturated:
+            return RoutingDecision.reject(REASON_SATURATED)
+        if self.defer_when_saturated is not None:
+            return RoutingDecision.defer(now + self.defer_when_saturated)
+        return None
+
+    @staticmethod
+    def candidates(views: Sequence[ReplicaView]) -> list[ReplicaView]:
+        """Routable replicas: the non-saturated ones, or all if none is free."""
+        if not views:
+            raise ValueError("cannot route with zero replicas")
+        open_replicas = [view for view in views if not view.saturated]
+        return open_replicas or list(views)
 
     def _pick_min(
         self,
-        snapshots: Sequence[ReplicaSnapshot],
-        key: Callable[[ReplicaSnapshot], float],
+        views: Sequence[ReplicaView],
+        key: Callable[[ReplicaView], float],
     ) -> int:
         """Lowest-key candidate, ties broken by lowest replica id."""
-        best = min(self.candidates(snapshots), key=lambda s: (key(s), s.replica_id))
+        best = min(self.candidates(views), key=lambda view: (key(view), view.replica_id))
         return best.replica_id
+
+    def _decide_min(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float,
+        key: Callable[[ReplicaView], float],
+    ) -> RoutingDecision:
+        """Admission check, then route to the lowest-key candidate."""
+        decision = self.admission_check(spec, views, now)
+        if decision is not None:
+            return decision
+        return RoutingDecision.route(self._pick_min(views, key))
+
+    def _policy_suffix(self) -> str:
+        """Describe-fragment for non-default admission knobs (or '')."""
+        parts: list[str] = []
+        if self.reject_when_saturated:
+            parts.append("reject-saturated")
+        if self.shed_classes:
+            parts.append(f"shed={'/'.join(sorted(self.shed_classes))}")
+        if self.defer_when_saturated is not None:
+            parts.append(f"defer={self.defer_when_saturated:g}s")
+        return ", ".join(parts)
 
     def describe(self) -> str:
         """One-line parameterised description used in result tables."""
-        return self.name
+        suffix = self._policy_suffix()
+        return f"{self.name} ({suffix})" if suffix else self.name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.describe()})"
@@ -192,62 +498,126 @@ class RoundRobinRouter(Router):
 
     name = "round-robin"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        reject_when_saturated: bool = False,
+        shed_classes: Iterable[str] = (),
+        defer_when_saturated: float | None = None,
+    ) -> None:
+        super().__init__(
+            reject_when_saturated=reject_when_saturated,
+            shed_classes=shed_classes,
+            defer_when_saturated=defer_when_saturated,
+        )
         self._last: int | None = None
 
     def on_run_start(self) -> None:
         self._last = None
 
-    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
-        eligible = sorted(s.replica_id for s in self.candidates(snapshots))
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        decision = self.admission_check(spec, views, now)
+        if decision is not None:
+            return decision
+        eligible = sorted(view.replica_id for view in self.candidates(views))
         chosen = next(
             (replica_id for replica_id in eligible if self._last is None or replica_id > self._last),
             eligible[0],
         )
         self._last = chosen
-        return chosen
+        return RoutingDecision.route(chosen)
 
 
 class LeastOutstandingRouter(Router):
-    """Route to the replica with the fewest in-flight requests."""
+    """Route to the replica with the fewest in-flight requests.
+
+    Deliberately capacity-blind: outstanding-request counts ignore how much
+    KV pool each replica actually has, which is exactly the baseline the
+    heterogeneous-fleet comparison (fig12) measures the normalised routers
+    against.
+    """
 
     name = "least-outstanding"
 
-    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
-        return self._pick_min(snapshots, lambda s: s.outstanding)
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        return self._decide_min(spec, views, now, lambda view: view.outstanding)
 
 
 class LeastKVLoadRouter(Router):
     """Route to the replica with the lowest fractional KV-cache load.
 
-    Load counts both resident tokens and queued prompt demand, so a replica
-    with a deep admission queue is not mistaken for an empty one.
+    Load counts both resident tokens and queued prompt demand, normalised by
+    each replica's *own* capacity (:attr:`ReplicaView.load_fraction`), so a
+    deep queue is not mistaken for an empty pool and a small-memory replica
+    is not mistaken for a large one.
     """
 
     name = "least-kv-load"
 
-    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
-        return self._pick_min(snapshots, lambda s: s.load_fraction)
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        return self._decide_min(spec, views, now, lambda view: view.load_fraction)
 
 
 class MemoryAwareRouter(Router):
-    """Route to the replica with the largest predicted future-memory headroom.
+    """Route to the replica with the best speed-weighted predicted headroom.
 
     The router keeps the paper's sliding window of finished output lengths
     (fleet-wide — every replica's completions feed one history) and, per
     replica, predicts each in-flight request's remaining generation as the
     conditional mean of the window above what the request has already
     produced.  The replica's *predicted peak* future memory then follows from
-    Eq. 2–4, and the request goes wherever ``capacity − peak`` is largest.
+    Eq. 2–4, and the placement score is the headroom left after placing the
+    arriving request, **as a fraction of that replica's own capacity**,
+    weighted by the replica's relative decode speed:
+
+    * positive headroom is multiplied by :attr:`ReplicaView.speed_factor`
+      (equal relative slack goes to the faster card, which drains it sooner);
+    * negative headroom (oversubscription) is divided by it (overloading a
+      slow card hurts longer than overloading a fast one).
+
+    On a homogeneous fleet every ``speed_factor`` is 1.0 and every capacity
+    equal, so the ordering — and therefore every routing decision — is
+    identical to the absolute-headroom comparison this replaces.
 
     Args:
         window_size: sliding-window length (the paper uses 1000).
         default_length: output length assumed before any request finishes.
+        reject_when_saturated: admission knob forwarded to :class:`Router`.
+        shed_classes: admission knob forwarded to :class:`Router`.
+        defer_when_saturated: admission knob forwarded to :class:`Router`.
     """
 
     name = "memory-aware"
 
-    def __init__(self, window_size: int = 1000, default_length: int = 2048) -> None:
+    def __init__(
+        self,
+        window_size: int = 1000,
+        default_length: int = 2048,
+        *,
+        reject_when_saturated: bool = False,
+        shed_classes: Iterable[str] = (),
+        defer_when_saturated: float | None = None,
+    ) -> None:
+        super().__init__(
+            reject_when_saturated=reject_when_saturated,
+            shed_classes=shed_classes,
+            defer_when_saturated=defer_when_saturated,
+        )
         self.history = OutputLengthHistory(window_size=window_size, default_length=default_length)
 
     def on_run_start(self) -> None:
@@ -260,10 +630,10 @@ class MemoryAwareRouter(Router):
     def _history_table(self) -> tuple[np.ndarray, np.ndarray]:
         """Sorted window and suffix sums, shared by one routing decision.
 
-        Built once per :meth:`select_replica` call — the history cannot
-        change between the per-replica headroom evaluations of a single
-        decision, and re-sorting the window per replica would dominate the
-        routing hot path.
+        Built once per :meth:`decide` call — the history cannot change
+        between the per-replica headroom evaluations of a single decision,
+        and re-sorting the window per replica would dominate the routing hot
+        path.
         """
         lengths = np.sort(self.history.snapshot())
         suffix_sums = np.concatenate([np.cumsum(lengths[::-1])[::-1], [0]])
@@ -291,19 +661,19 @@ class MemoryAwareRouter(Router):
 
     def predicted_peak_tokens(
         self,
-        snapshot: ReplicaSnapshot,
+        view: ReplicaView,
         table: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> int:
         """Predicted peak future memory of one replica's in-flight work."""
-        running_current = np.asarray(snapshot.running_current_tokens, dtype=np.int64)
-        running_generated = np.asarray(snapshot.running_generated_tokens, dtype=np.int64)
-        waiting_prompts = np.asarray(snapshot.waiting_prompt_tokens, dtype=np.int64)
+        running_current = np.asarray(view.running_current_tokens, dtype=np.int64)
+        running_generated = np.asarray(view.running_generated_tokens, dtype=np.int64)
+        waiting_prompts = np.asarray(view.waiting_prompt_tokens, dtype=np.int64)
         current = np.concatenate([running_current, waiting_prompts])
         if current.size == 0:
             return 0
         waiting_generated = (
-            np.asarray(snapshot.waiting_generated_tokens, dtype=np.int64)
-            if snapshot.waiting_generated_tokens
+            np.asarray(view.waiting_generated_tokens, dtype=np.int64)
+            if view.waiting_generated_tokens
             else np.zeros(waiting_prompts.size, dtype=np.int64)
         )
         generated = np.concatenate([running_generated, waiting_generated])
@@ -312,32 +682,100 @@ class MemoryAwareRouter(Router):
         # scheduler: a 2048-token cold-start default must not predict growth
         # a 128-cap request can never physically occupy.
         caps = np.concatenate([
-            np.asarray(snapshot.running_remaining_cap_tokens, dtype=np.int64)
-            if snapshot.running_remaining_cap_tokens
+            np.asarray(view.running_remaining_cap_tokens, dtype=np.int64)
+            if view.running_remaining_cap_tokens
             else np.full(running_current.size, np.iinfo(np.int64).max),
-            np.asarray(snapshot.waiting_remaining_cap_tokens, dtype=np.int64)
-            if snapshot.waiting_remaining_cap_tokens
+            np.asarray(view.waiting_remaining_cap_tokens, dtype=np.int64)
+            if view.waiting_remaining_cap_tokens
             else np.full(waiting_prompts.size, np.iinfo(np.int64).max),
         ])
         remaining = np.maximum(np.minimum(remaining, caps), 1)
         return peak_future_memory_arrays(current, remaining)
 
-    def headroom_tokens(
+    def predicted_peak_fraction(
         self,
-        snapshot: ReplicaSnapshot,
+        view: ReplicaView,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> float:
+        """Predicted peak as a fraction of *this replica's* token capacity."""
+        return self.predicted_peak_tokens(view, table) / view.token_capacity
+
+    def predicted_headroom_tokens(
+        self,
+        view: ReplicaView,
         table: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> int:
-        """Predicted future-memory headroom (can be negative when oversubscribed)."""
-        return snapshot.token_capacity - self.predicted_peak_tokens(snapshot, table)
+        """Predicted future-memory headroom (can be negative when oversubscribed).
 
-    def select_replica(self, spec: RequestSpec, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        Distinct from :attr:`ReplicaView.headroom_tokens`, which measures
+        *present* occupancy plus queued prompts; this subtracts the Eq. 2–4
+        predicted peak, so growth the batch has not realised yet counts.
+        """
+        return view.token_capacity - self.predicted_peak_tokens(view, table)
+
+    def predicted_headroom_fraction(
+        self,
+        view: ReplicaView,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> float:
+        """Predicted headroom as a fraction of *this replica's* capacity.
+
+        The predicted-peak counterpart of the present-state
+        :attr:`ReplicaView.headroom_fraction`.
+        """
+        return self.predicted_headroom_tokens(view, table) / view.token_capacity
+
+    def headroom_tokens(
+        self,
+        view: ReplicaView,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> int:
+        """Legacy alias of :meth:`predicted_headroom_tokens` (PR-1 name)."""
+        return self.predicted_headroom_tokens(view, table)
+
+    def placement_score(
+        self,
+        spec: RequestSpec,
+        view: ReplicaView,
+        table: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> float:
+        """Speed-weighted normalised headroom left after placing ``spec``.
+
+        Higher is better.  The arriving request's prompt footprint is charged
+        against the replica's predicted headroom before normalising, so a
+        request that simply does not fit a small replica scores deeply
+        negative there rather than hiding behind a rosy fraction.
+        """
+        placed = (
+            self.predicted_headroom_tokens(view, table) - spec.prompt_tokens
+        ) / view.token_capacity
+        if placed >= 0:
+            return placed * view.speed_factor
+        return placed / view.speed_factor
+
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        decision = self.admission_check(spec, views, now)
+        if decision is not None:
+            # Reject/defer before sorting the window: a saturated burst is
+            # exactly when this hot path fires per arrival.
+            return decision
         table = self._history_table()
-        # Largest headroom == smallest negated headroom, so tie-breaking still
+        # Largest score == smallest negated score, so tie-breaking still
         # favours the lowest replica id.
-        return self._pick_min(snapshots, lambda s: -self.headroom_tokens(s, table))
+        return RoutingDecision.route(
+            self._pick_min(views, lambda view: -self.placement_score(spec, view, table))
+        )
 
     def describe(self) -> str:
-        return f"{self.name} (window={self.history.window_size})"
+        """One-line parameterised description used in result tables."""
+        suffix = self._policy_suffix()
+        extra = f", {suffix}" if suffix else ""
+        return f"{self.name} (window={self.history.window_size}{extra})"
 
 
 RouterFactory = Callable[..., Router]
@@ -356,19 +794,33 @@ def create_router(name: str, **kwargs) -> Router:
     Args:
         name: one of ``round-robin``, ``least-outstanding``,
             ``least-kv-load``, ``memory-aware``.
-        **kwargs: forwarded to the router constructor (e.g. ``window_size``).
+        **kwargs: forwarded to the router constructor — policy knobs shared
+            by every router (``reject_when_saturated``, ``shed_classes``,
+            ``defer_when_saturated``) plus router-specific parameters such as
+            ``window_size``.
 
     Raises:
         KeyError: if the name is unknown.
+        TypeError: if a keyword argument is not accepted by the router,
+            listing the keywords it does accept.
     """
-    try:
-        factory = ROUTER_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(ROUTER_REGISTRY))
-        raise KeyError(f"unknown router {name!r}; known: {known}") from None
-    return factory(**kwargs)
+    return instantiate("router", ROUTER_REGISTRY, name, kwargs)
 
 
 def available_routers() -> list[str]:
-    """Names of all registered routers."""
+    """Names of all registered routers, sorted for deterministic listings."""
     return sorted(ROUTER_REGISTRY)
+
+
+def router_overview() -> dict[str, str]:
+    """One-line summary per registered router, in ``available_routers`` order.
+
+    Mirrors the scheduler registry's ergonomics: the summary is the first
+    line of each router class's docstring, so ``--help`` style listings stay
+    in sync with the documentation.
+    """
+    overview: dict[str, str] = {}
+    for name in available_routers():
+        doc = ROUTER_REGISTRY[name].__doc__ or ""
+        overview[name] = doc.strip().splitlines()[0] if doc.strip() else name
+    return overview

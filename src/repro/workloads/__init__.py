@@ -1,6 +1,10 @@
 """Workload substrate: request specs and synthetic trace generators."""
 
-from repro.workloads.arrivals import assign_bursty_arrivals, assign_poisson_arrivals
+from repro.workloads.arrivals import (
+    assign_bursty_arrivals,
+    assign_diurnal_arrivals,
+    assign_poisson_arrivals,
+)
 from repro.workloads.burstgpt import (
     API_ARCHETYPES,
     FIGURE3_TRACES,
@@ -25,8 +29,11 @@ from repro.workloads.sharegpt import (
     generate_sharegpt_workload,
 )
 from repro.workloads.spec import (
+    SLA_CLASS_BATCH,
+    SLA_CLASS_INTERACTIVE,
     RequestSpec,
     Workload,
+    assign_sla_classes,
     concatenate,
     interleave,
     scale_workload,
@@ -34,7 +41,11 @@ from repro.workloads.spec import (
 
 __all__ = [
     "assign_bursty_arrivals",
+    "assign_diurnal_arrivals",
     "assign_poisson_arrivals",
+    "assign_sla_classes",
+    "SLA_CLASS_BATCH",
+    "SLA_CLASS_INTERACTIVE",
     "API_ARCHETYPES",
     "FIGURE3_TRACES",
     "TaskArchetype",

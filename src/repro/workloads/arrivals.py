@@ -10,8 +10,11 @@ while its neighbours idle.
 
 :func:`assign_bursty_arrivals` stamps a workload with arrival times drawn from
 an on/off modulated Poisson process: the trace alternates between quiet phases
-at ``base_rate`` and burst phases at ``burst_rate`` requests per second.  The
-stamped workload replays identically through
+at ``base_rate`` and burst phases at ``burst_rate`` requests per second.
+:func:`assign_diurnal_arrivals` layers a sinusoidal rate envelope over that
+bursty base — the day/night cycle every production service sees — so
+autoscaling policies face slow tides *and* fast waves at once.  A stamped
+workload replays identically through
 :meth:`~repro.serving.cluster.ClusterSimulator.run_open_loop` for every router
 under comparison, so router effects are never confounded with arrival noise.
 """
@@ -66,6 +69,30 @@ def assign_poisson_arrivals(
     return _stamp_exponential_gaps(workload, rates, generator, f"poisson {request_rate:g} req/s")
 
 
+def _bursty_nominal_rates(
+    num_requests: int,
+    base_rate: float,
+    burst_rate: float,
+    burst_length: int,
+    cycle_length: int,
+) -> np.ndarray:
+    """Validated per-request on/off rates shared by the bursty stampers.
+
+    Requests arrive in repeating cycles of ``cycle_length`` requests: the
+    first ``burst_length`` of each cycle at ``burst_rate`` (the wave), the
+    remainder at ``base_rate`` (the lull).
+    """
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("arrival rates must be positive")
+    if burst_rate <= base_rate:
+        raise ValueError("burst_rate must exceed base_rate")
+    if not 0 < burst_length <= cycle_length:
+        raise ValueError("burst_length must be in (0, cycle_length]")
+    positions = np.arange(num_requests)
+    in_burst = (positions % cycle_length) < burst_length
+    return np.where(in_burst, burst_rate, base_rate)
+
+
 def assign_bursty_arrivals(
     workload: Workload,
     base_rate: float,
@@ -93,18 +120,82 @@ def assign_bursty_arrivals(
             and autoscale experiments can share one seeded generator
             end-to-end.
     """
-    if base_rate <= 0 or burst_rate <= 0:
-        raise ValueError("arrival rates must be positive")
-    if burst_rate <= base_rate:
-        raise ValueError("burst_rate must exceed base_rate")
-    if not 0 < burst_length <= cycle_length:
-        raise ValueError("burst_length must be in (0, cycle_length]")
-    positions = np.arange(len(workload))
-    in_burst = (positions % cycle_length) < burst_length
-    rates = np.where(in_burst, burst_rate, base_rate)
+    rates = _bursty_nominal_rates(
+        len(workload), base_rate, burst_rate, burst_length, cycle_length
+    )
     note = (
         f"bursty {base_rate:g}->{burst_rate:g} req/s, "
         f"{burst_length}/{cycle_length} cycle"
     )
     generator = rng if rng is not None else np.random.default_rng(seed)
     return _stamp_exponential_gaps(workload, rates, generator, note)
+
+
+def assign_diurnal_arrivals(
+    workload: Workload,
+    base_rate: float,
+    burst_rate: float,
+    period: float,
+    amplitude: float = 0.5,
+    burst_length: int = 32,
+    cycle_length: int = 64,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Stamp arrivals from a bursty process under a sinusoidal daily envelope.
+
+    The per-request rate is the on/off bursty rate (exactly as in
+    :func:`assign_bursty_arrivals`) multiplied by a time-dependent envelope::
+
+        envelope(t) = 1 + amplitude * sin(2 * pi * t / period)
+
+    so traffic tides between ``(1 - amplitude)`` and ``(1 + amplitude)``
+    times the nominal rates over each ``period`` (starting at the mean,
+    rising first).  Because the envelope depends on *time*, arrival times are
+    accumulated sequentially — each gap is an exponential draw scaled by the
+    instantaneous rate — which is the standard stepwise-rate construction of
+    a nonhomogeneous Poisson process.  The random stream is the same
+    per-request standard-exponential draw the other stampers use, so one
+    seeded :class:`numpy.random.Generator` threads through unchanged.
+
+    Args:
+        workload: the requests to stamp, in submission order.
+        base_rate: nominal arrival rate (requests/second) during quiet phases.
+        burst_rate: nominal rate during bursts; must exceed ``base_rate``.
+        period: seconds per full diurnal cycle.
+        amplitude: relative swing of the envelope, in ``[0, 1)``.
+        burst_length: number of requests per cycle that arrive at burst rate.
+        cycle_length: total requests per quiet+burst cycle.
+        seed: seed for a fresh generator when ``rng`` is not given.
+        rng: an explicit :class:`numpy.random.Generator` to draw the
+            exponential gaps from; takes precedence over ``seed``.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    nominal_rates = _bursty_nominal_rates(
+        len(workload), base_rate, burst_rate, burst_length, cycle_length
+    )
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    standard_gaps = generator.exponential(scale=1.0, size=len(workload))
+    times = np.empty(len(workload))
+    now = 0.0
+    angular = 2.0 * np.pi / period
+    for index, (nominal, gap) in enumerate(zip(nominal_rates, standard_gaps)):
+        envelope = 1.0 + amplitude * np.sin(angular * now)
+        now += float(gap / (nominal * envelope))
+        times[index] = now
+    requests = [
+        replace(spec, arrival_time=float(time))
+        for spec, time in zip(workload.requests, times)
+    ]
+    note = (
+        f"diurnal x{amplitude:g} over {period:g}s, bursty "
+        f"{base_rate:g}->{burst_rate:g} req/s, {burst_length}/{cycle_length} cycle"
+    )
+    return Workload(
+        name=workload.name,
+        requests=requests,
+        description=f"{workload.description} ({note})",
+    )

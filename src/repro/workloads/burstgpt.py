@@ -26,7 +26,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.workloads.spec import RequestSpec, Workload
+from repro.workloads.spec import (
+    SLA_CLASS_BATCH,
+    SLA_CLASS_INTERACTIVE,
+    RequestSpec,
+    Workload,
+)
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,9 @@ class TaskArchetype:
     mean_output: float
     sigma: float
     mean_input: float = 512.0
+    #: service class this task type signs up for — a user waiting on a chat
+    #: answer is interactive; long-form generation rides the batch contract.
+    sla_class: str = SLA_CLASS_INTERACTIVE
 
     def sample_output(self, rng: np.random.Generator, size: int) -> np.ndarray:
         mu = np.log(self.mean_output) - self.sigma ** 2 / 2.0
@@ -56,7 +64,10 @@ API_ARCHETYPES: tuple[TaskArchetype, ...] = (
     TaskArchetype("extraction", mean_output=24.0, sigma=0.6, mean_input=900.0),
     TaskArchetype("chat", mean_output=280.0, sigma=0.8, mean_input=400.0),
     TaskArchetype("code", mean_output=700.0, sigma=0.7, mean_input=650.0),
-    TaskArchetype("longform", mean_output=1500.0, sigma=0.5, mean_input=300.0),
+    TaskArchetype(
+        "longform", mean_output=1500.0, sigma=0.5, mean_input=300.0,
+        sla_class=SLA_CLASS_BATCH,
+    ),
 )
 
 
@@ -135,6 +146,7 @@ def generate_api_trace(
                     input_length=int(inp),
                     output_length=int(out),
                     max_new_tokens=max_new_tokens,
+                    sla_class=archetype.sla_class,
                 )
             )
     requests.sort(key=lambda r: int(r.request_id.rsplit("-", 1)[1]))

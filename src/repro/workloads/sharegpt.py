@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.spec import RequestSpec, Workload
+from repro.workloads.spec import SLA_CLASS_INTERACTIVE, RequestSpec, Workload
 
 
 def _lognormal_lengths(
@@ -40,11 +40,16 @@ def generate_sharegpt_workload(
     num_requests: int,
     seed: int = 0,
     max_new_tokens: int = 2048,
+    sla_class: str = SLA_CLASS_INTERACTIVE,
 ) -> Workload:
     """Plain ShareGPT-style conversation workload.
 
     Inputs average a few hundred tokens; outputs average ~250 tokens with a
     long tail, capped at ``max_new_tokens`` (2048 in the paper's Figure 9).
+    Conversations are end-user traffic, so requests are stamped
+    ``interactive`` unless a different ``sla_class`` is given (mixed-class
+    traces can also be produced post hoc with
+    :func:`repro.workloads.spec.assign_sla_classes`).
     """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
@@ -57,6 +62,7 @@ def generate_sharegpt_workload(
             input_length=int(inputs[i]),
             output_length=int(outputs[i]),
             max_new_tokens=max_new_tokens,
+            sla_class=sla_class,
         )
         for i in range(num_requests)
     ]
@@ -71,11 +77,14 @@ def generate_sharegpt_o1_workload(
     num_requests: int,
     seed: int = 0,
     max_new_tokens: int = 8192,
+    sla_class: str = SLA_CLASS_INTERACTIVE,
 ) -> Workload:
     """ShareGPT-o1 style decode-heavy workload (chain-of-thought outputs).
 
     Matches the paper's reported averages: ~381 input tokens and ~2160 output
     tokens per request, with a heavy output tail from long reasoning chains.
+    Stamped ``interactive`` by default, like
+    :func:`generate_sharegpt_workload`.
     """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
@@ -88,6 +97,7 @@ def generate_sharegpt_o1_workload(
             input_length=int(inputs[i]),
             output_length=int(outputs[i]),
             max_new_tokens=max_new_tokens,
+            sla_class=sla_class,
         )
         for i in range(num_requests)
     ]

@@ -15,7 +15,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from statistics import mean
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+#: Default service class: latency-sensitive end-user traffic.
+SLA_CLASS_INTERACTIVE = "interactive"
+
+#: Throughput-oriented service class: background / batch traffic that
+#: tolerates looser latency bounds (and is the first to be shed or deferred
+#: by class-aware routers under pressure).
+SLA_CLASS_BATCH = "batch"
 
 
 @dataclass(frozen=True)
@@ -33,6 +43,11 @@ class RequestSpec:
         arrival_time: optional arrival timestamp (seconds) for open-loop replay.
         image_tokens: extra prompt tokens contributed by images (multimodal
             workloads); 0 for text-only requests.
+        sla_class: service class the request belongs to (e.g.
+            :data:`SLA_CLASS_INTERACTIVE` vs :data:`SLA_CLASS_BATCH`).
+            Routers may place, shed, or defer by class, and
+            :class:`~repro.serving.sla.SLASpec` may bind per-class latency
+            bounds; fleet metrics report goodput per class.
     """
 
     request_id: str
@@ -41,6 +56,7 @@ class RequestSpec:
     max_new_tokens: int
     arrival_time: float | None = None
     image_tokens: int = 0
+    sla_class: str = SLA_CLASS_INTERACTIVE
 
     def __post_init__(self) -> None:
         if self.input_length < 0:
@@ -56,6 +72,8 @@ class RequestSpec:
             )
         if self.image_tokens < 0:
             raise ValueError("image_tokens must be non-negative")
+        if not self.sla_class:
+            raise ValueError("sla_class must be a non-empty string")
 
     @property
     def prompt_tokens(self) -> int:
@@ -75,6 +93,10 @@ class RequestSpec:
     def with_arrival(self, arrival_time: float) -> "RequestSpec":
         """Copy of this spec with an arrival timestamp."""
         return replace(self, arrival_time=arrival_time)
+
+    def with_sla_class(self, sla_class: str) -> "RequestSpec":
+        """Copy of this spec stamped with a service class."""
+        return replace(self, sla_class=sla_class)
 
 
 @dataclass
@@ -130,6 +152,18 @@ class Workload:
         """Whether outputs are longer than inputs on average."""
         return self.mean_output_length > self.mean_input_length
 
+    @property
+    def sla_classes(self) -> list[str]:
+        """Distinct service classes present, sorted for determinism."""
+        return sorted({r.sla_class for r in self.requests})
+
+    def class_counts(self) -> dict[str, int]:
+        """Requests per service class, keyed in sorted class order."""
+        counts: dict[str, int] = {}
+        for name in self.sla_classes:
+            counts[name] = sum(1 for r in self.requests if r.sla_class == name)
+        return counts
+
     def head(self, count: int) -> "Workload":
         """A workload containing the first ``count`` requests."""
         return Workload(
@@ -178,6 +212,48 @@ def scale_workload(workload: Workload, factor: float, min_tokens: int = 1) -> Wo
         name=workload.name,
         requests=scaled,
         description=f"{workload.description} (scaled x{factor:g})",
+    )
+
+
+def assign_sla_classes(
+    workload: Workload,
+    fractions: Mapping[str, float],
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Stamp each request with a service class drawn from ``fractions``.
+
+    Mixed interactive/batch traces are the norm in production (the paper's
+    API-trace observation), so class labels are assigned i.i.d. per request
+    rather than in blocks — bursts then contain both classes, which is what
+    makes class-aware routing interesting.
+
+    Args:
+        workload: the requests to stamp, in submission order.
+        fractions: class name to probability; must sum to 1 (within 1e-9).
+        seed: seed for a fresh generator when ``rng`` is not given.
+        rng: an explicit :class:`numpy.random.Generator` to draw from; takes
+            precedence over ``seed``, letting experiments thread one seeded
+            generator through every stochastic stage (class stamping, arrival
+            stamping, workload synthesis) for end-to-end reproducibility.
+    """
+    if not fractions:
+        raise ValueError("fractions must name at least one class")
+    names = sorted(fractions)
+    probabilities = np.array([fractions[name] for name in names], dtype=float)
+    if np.any(probabilities < 0) or abs(probabilities.sum() - 1.0) > 1e-9:
+        raise ValueError("fractions must be non-negative and sum to 1")
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    drawn = generator.choice(len(names), size=len(workload), p=probabilities)
+    requests = [
+        replace(spec, sla_class=names[index])
+        for spec, index in zip(workload.requests, drawn)
+    ]
+    mix = ", ".join(f"{name} {fractions[name]:.0%}" for name in names)
+    return Workload(
+        name=workload.name,
+        requests=requests,
+        description=f"{workload.description} (classes: {mix})",
     )
 
 

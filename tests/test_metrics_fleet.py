@@ -179,3 +179,91 @@ class TestFleetSizeSample:
     def test_provisioned_counts_active_and_warming(self):
         sample = FleetSizeSample(time=1.0, active=3, warming=2, draining=1)
         assert sample.provisioned == 5
+
+
+class TestPerClassAccounting:
+    def make_class_request(self, request_id: str, sla_class: str, tokens: int = 4, gap: float = 0.1) -> Request:
+        spec = make_spec(request_id=request_id, output_length=tokens).with_sla_class(sla_class)
+        request = Request(spec=spec, arrival_time=0.0)
+        request.admit(0.0)
+        request.note_prefill(request.recompute_tokens)
+        for step in range(tokens):
+            request.deliver_token(0.1 + gap * step)
+        request.finish(0.1 + gap * (tokens - 1))
+        return request
+
+    def test_class_slices_partition_the_fleet(self):
+        requests = [
+            self.make_class_request("i0", "interactive"),
+            self.make_class_request("i1", "interactive"),
+            self.make_class_request("b0", "batch", tokens=8),
+        ]
+        summary = summarize_fleet([requests], duration=2.0, sla=SLA)
+        assert set(summary.per_class) == {"batch", "interactive"}
+        interactive = summary.per_class["interactive"]
+        batch = summary.per_class["batch"]
+        assert interactive.finished_requests == 2
+        assert batch.finished_requests == 1
+        assert interactive.total_output_tokens == 8
+        assert batch.total_output_tokens == 8
+        # Class slices add up to the fleet-level numbers.
+        assert interactive.goodput + batch.goodput == pytest.approx(summary.goodput)
+
+    def test_per_class_goodput_per_replica_second_shares_fleet_cost(self):
+        requests = [
+            self.make_class_request("i0", "interactive"),
+            self.make_class_request("b0", "batch"),
+        ]
+        summary = summarize_fleet([requests, []], duration=2.0, sla=SLA, replica_seconds=8.0)
+        for slice_summary in summary.per_class.values():
+            assert slice_summary.goodput_per_replica_second == pytest.approx(
+                slice_summary.goodput * 2.0 / 8.0
+            )
+        total = sum(s.goodput_per_replica_second for s in summary.per_class.values())
+        assert total == pytest.approx(summary.goodput_per_replica_second)
+
+    def test_rejected_requests_attributed_to_their_class(self):
+        served = [self.make_class_request("i0", "interactive")]
+        rejected = [
+            Request(spec=make_spec(request_id="rb").with_sla_class("batch"), arrival_time=0.0),
+            Request(spec=make_spec(request_id="ri").with_sla_class("interactive"), arrival_time=0.0),
+            Request(spec=make_spec(request_id="rb2").with_sla_class("batch"), arrival_time=0.0),
+        ]
+        summary = summarize_fleet([served], duration=1.0, sla=SLA, rejected=rejected)
+        assert summary.rejected_requests == 3
+        assert summary.submitted_requests == 4
+        assert summary.per_class["batch"].rejected_requests == 2
+        assert summary.per_class["interactive"].rejected_requests == 1
+        # A class present only through rejections still gets a (zeroed) slice.
+        assert summary.per_class["batch"].finished_requests == 0
+        assert summary.per_class["batch"].goodput == 0.0
+
+    def test_rejected_count_still_accepted_for_compat(self):
+        served = [self.make_class_request("i0", "interactive")]
+        summary = summarize_fleet([served], duration=1.0, sla=SLA, rejected=5)
+        assert summary.rejected_requests == 5
+        assert summary.submitted_requests == 6
+        assert summary.per_class["interactive"].rejected_requests == 0
+
+    def test_class_deadlines_decide_class_compliance(self):
+        sla = SLASpec(ttft_limit=10.0, mtpot_limit=1.5).with_class(
+            "batch", ttft_limit=0.05, mtpot_limit=1.5
+        )
+        requests = [
+            self.make_class_request("i0", "interactive"),  # TTFT 0.1 < 10
+            self.make_class_request("b0", "batch"),        # TTFT 0.1 > 0.05
+        ]
+        summary = summarize_fleet([requests], duration=1.0, sla=sla)
+        assert summary.per_class["interactive"].sla_attainment == 1.0
+        assert summary.per_class["batch"].sla_attainment == 0.0
+        assert summary.per_class["batch"].goodput == 0.0
+
+    def test_class_rows_sorted_and_renderable(self):
+        requests = [
+            self.make_class_request("i0", "interactive"),
+            self.make_class_request("b0", "batch"),
+        ]
+        summary = summarize_fleet([requests], duration=1.0, sla=SLA)
+        rows = summary.class_rows()
+        assert [row["class"] for row in rows] == ["batch", "interactive"]
+        assert all("goodput_per_rs" in row for row in rows)

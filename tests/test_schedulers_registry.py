@@ -97,3 +97,24 @@ class TestBatchCapUtility:
         scheduler = self._DummyScheduler()
         scheduler.max_running_requests = 2
         assert scheduler.schedule(self._context(3, 7)) == []
+
+
+class TestRegistryKwargValidation:
+    """The shared registry helper rejects unknown kwargs with a helpful error."""
+
+    def test_unknown_kwarg_lists_accepted_names(self):
+        import pytest
+
+        from repro.schedulers.registry import create_scheduler
+
+        with pytest.raises(TypeError, match="accepted") as excinfo:
+            create_scheduler("aggressive", bogus_knob=1)
+        assert "bogus_knob" in str(excinfo.value)
+
+    def test_autoscale_policy_unknown_kwarg(self):
+        import pytest
+
+        from repro.serving.autoscale import create_autoscale_policy
+
+        with pytest.raises(TypeError, match="accepted"):
+            create_autoscale_policy("reactive", window_size=3)

@@ -16,7 +16,7 @@ from repro.serving.autoscale import (
     create_autoscale_policy,
 )
 from repro.serving.cluster import ClusterSimulator, ReplicaState
-from repro.serving.routing import ReplicaSnapshot, Router
+from repro.serving.routing import ReplicaSnapshot, ReplicaView, Router
 from repro.serving.sla import SLASpec
 from repro.workloads.arrivals import assign_bursty_arrivals
 from repro.workloads.spec import RequestSpec, Workload
@@ -516,3 +516,144 @@ class TestElasticCluster:
         assert result.autoscaler is not None
         assert "reactive" in result.autoscaler
         assert "autoscaled by" in result.describe()
+
+
+class TestCapacityNormalisedView:
+    def test_capacity_totals(self):
+        v = FleetView(
+            time=0.0,
+            snapshots=(idle_snapshot(0, 1000), idle_snapshot(1, 250)),
+            num_warming=1,
+            warming_capacity=1000,
+            launch_capacity=250,
+        )
+        assert v.active_capacity == 1250
+        assert v.provisioned_capacity == 2250
+        assert not v.is_homogeneous
+
+    def test_is_homogeneous_requires_uniform_capacities(self):
+        uniform = FleetView(
+            time=0.0,
+            snapshots=(idle_snapshot(0), idle_snapshot(1)),
+            num_warming=1,
+            warming_capacity=1000,
+            launch_capacity=1000,
+        )
+        assert uniform.is_homogeneous
+        mixed_launch = FleetView(
+            time=0.0,
+            snapshots=(idle_snapshot(0), idle_snapshot(1)),
+            launch_capacity=250,
+        )
+        assert not mixed_launch.is_homogeneous
+
+    def test_predictive_sizes_in_capacity_units_on_mixed_fleet(self):
+        # Forecast demand: 10 req/s * 1 s * (50 + 100) = 1500 tokens.  The
+        # active fleet provisions 1250 tokens (one big, one small replica),
+        # so the 250-token deficit costs exactly one 250-token launch.
+        policy = PredictivePolicy(target_utilization=1.0, horizon=1.0, default_length=100)
+        policy.on_run_start()
+        v = FleetView(
+            time=1.0,
+            snapshots=(idle_snapshot(0, 1000), idle_snapshot(1, 250)),
+            arrival_rate=10.0,
+            mean_arrival_tokens=50.0,
+            launch_capacity=250,
+        )
+        assert policy.target_size(v) == 3
+
+        # The same 250-token deficit still costs exactly one launch when the
+        # next launch is a 2000-token replica: the policy buys
+        # ceil(deficit / launch_capacity) = ceil(250 / 2000) = 1.
+        bigger_launch = FleetView(
+            time=1.0,
+            snapshots=(idle_snapshot(0, 1000), idle_snapshot(1, 250)),
+            arrival_rate=10.0,
+            mean_arrival_tokens=50.0,
+            launch_capacity=2000,
+        )
+        assert policy.target_size(bigger_launch) == 3  # ceil(250 / 2000) = 1 launch
+
+    def test_predictive_homogeneous_arithmetic_unchanged(self):
+        # On a homogeneous fleet the capacity-unit branch must not engage:
+        # the replica-count formula of PR 2 decides (here: 1500 tokens over
+        # 1000-token replicas -> 2).
+        policy = PredictivePolicy(target_utilization=1.0, horizon=1.0, default_length=100)
+        policy.on_run_start()
+        v = FleetView(
+            time=1.0,
+            snapshots=(idle_snapshot(0, 1000),),
+            arrival_rate=10.0,
+            mean_arrival_tokens=50.0,
+            launch_capacity=1000,
+        )
+        assert v.is_homogeneous
+        assert policy.target_size(v) == 2
+
+    def test_cluster_reports_launch_and_warming_capacity(self, platform_7b):
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.0, 3)]), interval=0.5, max_replicas=4, warmup_delay=5.0
+        )
+        cluster = make_cluster(platform_7b, autoscaler=autoscaler, num_replicas=2)
+        assert cluster.next_launch_capacity() == 2048
+        result = cluster.run_open_loop(instant_workload(6))
+        assert result.completed
+
+    def test_heterogeneous_elastic_fleet_cycles_platforms(self):
+        from repro.hardware.platform import paper_platforms
+
+        platforms = paper_platforms("7b-a100", "7b-4090")
+        autoscaler = Autoscaler(
+            SchedulePolicy([(0.05, 4)]), interval=0.1, max_replicas=4, warmup_delay=0.2
+        )
+        cluster = ClusterSimulator(
+            platforms=platforms,
+            num_replicas=2,
+            router="least-kv-load",
+            scheduler_name="conservative",
+            capacity_scale=1.0 / 32.0,
+            autoscaler=autoscaler,
+        )
+        # Launch cycle: a100, 4090, a100, 4090 — the next launch (index 2)
+        # is an A100 again.
+        assert cluster.next_launch_capacity() == int(platforms[0].token_capacity / 32)
+        result = cluster.run_open_loop(instant_workload(24, prompt=16, output=8))
+        assert result.completed
+        assert result.num_replicas == 4
+        gpus = [r.platform for r in result.replicas]
+        assert sum("A100" in g for g in gpus) == 2
+        assert sum("4090" in g for g in gpus) == 2
+
+    def test_heterogeneous_shrink_waits_for_largest_replica_surplus(self):
+        # Mixed fleet, zero demand: shrinking retires a replica the policy
+        # does not choose, so it must only shrink once the surplus covers
+        # the largest active replica (here it always does at zero demand),
+        # and must hold when the surplus is smaller than the big replica.
+        policy = PredictivePolicy(target_utilization=1.0, horizon=0.0, default_length=100)
+        policy.on_run_start()
+        idle_mixed = FleetView(
+            time=20.0,
+            snapshots=(idle_snapshot(0, 1000), idle_snapshot(1, 250)),
+            launch_capacity=250,
+        )
+        assert policy.target_size(idle_mixed) == 1
+
+        policy.on_run_start()
+        loaded_big = FleetView(
+            time=20.0,
+            snapshots=(
+                ReplicaView(
+                    replica_id=0,
+                    token_capacity=1000,
+                    used_tokens=400,
+                    running_current_tokens=(400,),
+                    running_generated_tokens=(399,),
+                    running_remaining_cap_tokens=(1,),
+                ),
+                idle_snapshot(1, 250),
+            ),
+            launch_capacity=250,
+        )
+        # Demand ~401 tokens -> surplus ~849 < 1000 (the largest replica):
+        # retiring the A100-sized replica would immediately be re-bought.
+        assert policy.target_size(loaded_big) == 2

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.hardware.platform import paper_platforms
 from repro.serving.cluster import ClusterSimulator
-from repro.serving.routing import ReplicaSnapshot, Router
+from repro.serving.routing import (
+    REASON_SATURATED,
+    ReplicaSnapshot,
+    Router,
+    RoutingDecision,
+)
 from repro.serving.sla import SLASpec
 from repro.workloads.arrivals import assign_bursty_arrivals
 from repro.workloads.spec import RequestSpec, Workload
@@ -178,6 +184,159 @@ class TestFleetAggregates:
         text = result.describe()
         assert "least-kv-load" in text
         assert "2 replicas" in text
+
+
+class TestRejectDeferBookkeeping:
+    def test_reject_reasons_counted(self, platform_7b):
+        cluster = make_cluster(platform_7b, capacity=64, reject_when_saturated=True)
+        result = cluster.run_open_loop(stamped_workload())
+        assert result.rejected
+        assert sum(result.reject_reasons.values()) == len(result.rejected)
+        assert result.reject_reasons == {REASON_SATURATED: len(result.rejected)}
+        assert result.deferrals == 0
+
+    def test_defer_parks_and_retries_requests(self, platform_7b):
+        # A saturated fleet defers instead of queueing; once capacity frees
+        # the parked requests are routed and everything finishes.
+        cluster = make_cluster(
+            platform_7b,
+            router="least-kv-load",
+            capacity=64,
+            num_replicas=2,
+        )
+        cluster.router.defer_when_saturated = 0.5
+        result = cluster.run_open_loop(stamped_workload(num_requests=8))
+        assert result.completed
+        assert len(result.finished_requests) == 8
+        assert result.deferrals > 0
+        assert not result.rejected
+        assert "deferred" in result.describe()
+
+    def test_deferred_requests_keep_original_arrival_time(self, platform_7b):
+        cluster = make_cluster(platform_7b, router="least-kv-load", capacity=64, num_replicas=2)
+        cluster.router.defer_when_saturated = 0.5
+        result = cluster.run_open_loop(stamped_workload(num_requests=8))
+        assert result.deferrals > 0
+        # All requests arrived at t=0; deferral must not launder TTFT.
+        assert all(r.arrival_time == 0.0 for r in result.requests)
+
+    def test_non_advancing_defer_raises(self, platform_7b):
+        class BadDeferRouter(Router):
+            name = "bad-defer"
+
+            def decide(self, spec, views, now=0.0):
+                return RoutingDecision.defer(until=now)
+
+        cluster = make_cluster(platform_7b, router=BadDeferRouter())
+        with pytest.raises(RuntimeError, match="strictly later"):
+            cluster.run_open_loop(stamped_workload(num_requests=1))
+
+    def test_cluster_knob_does_not_mutate_shared_router(self, platform_7b):
+        # The convenience knob is cluster-level: a caller-supplied router
+        # reused by a second simulator must not inherit the first one's
+        # admission policy.
+        from repro.serving.routing import LeastKVLoadRouter
+
+        router = LeastKVLoadRouter()
+        rejecting = make_cluster(
+            platform_7b, router=router, capacity=64, reject_when_saturated=True
+        )
+        assert rejecting.reject_when_saturated
+        assert not router.reject_when_saturated
+        assert rejecting.run_open_loop(stamped_workload()).rejected
+        queueing = make_cluster(platform_7b, router=LeastKVLoadRouter(), capacity=64)
+        assert not queueing.reject_when_saturated
+        assert not queueing.run_open_loop(stamped_workload()).rejected
+
+    def test_router_level_rejection_without_cluster_knob(self, platform_7b):
+        # Rejection is a router policy now: arming the router directly works
+        # without the ClusterSimulator convenience flag.
+        cluster = make_cluster(platform_7b, router="least-kv-load", capacity=64)
+        cluster.router.reject_when_saturated = True
+        result = cluster.run_open_loop(stamped_workload())
+        assert result.rejected
+        assert result.routed_requests + len(result.rejected) == 24
+
+
+class TestHeterogeneousFleet:
+    def test_platforms_cycle_and_capacities_differ(self):
+        a100, a100b, rtx = paper_platforms("7b-a100", "7b-a100", "7b-4090")
+        cluster = ClusterSimulator(
+            platforms=[a100, a100b, rtx],
+            num_replicas=3,
+            router="least-kv-load",
+            scheduler_name="conservative",
+            capacity_scale=1.0 / 32.0,
+        )
+        views = cluster.snapshots()
+        assert [v.platform.gpu.name for v in views] == ["A100-80G", "A100-80G", "RTX-4090"]
+        assert views[0].token_capacity == views[1].token_capacity
+        assert views[2].token_capacity < views[0].token_capacity
+        # The 4090 decodes slower than the A100; the fastest platform is 1.0.
+        assert views[0].speed_factor == 1.0
+        assert 0.0 < views[2].speed_factor < 1.0
+
+    def test_heterogeneous_run_end_to_end(self):
+        platforms = paper_platforms("7b-a100", "7b-a100", "7b-4090")
+        cluster = ClusterSimulator(
+            platforms=platforms,
+            num_replicas=3,
+            router="memory-aware",
+            scheduler_name="conservative",
+            capacity_scale=1.0 / 32.0,
+        )
+        result = cluster.run_closed_loop(make_workload(num_requests=24), num_clients=6)
+        assert result.completed
+        assert len(result.finished_requests) == 24
+        assert "A100-80G" in result.platform and "RTX-4090" in result.platform
+        assert {r.platform for r in result.replicas} == {
+            p.describe() for p in platforms
+        }
+
+    def test_homogeneous_platform_string_unchanged(self, platform_7b):
+        cluster = make_cluster(platform_7b, num_replicas=2)
+        result = cluster.run_closed_loop(make_workload(num_requests=4), num_clients=2)
+        assert result.platform == platform_7b.describe()
+
+    def test_mixed_models_rejected(self):
+        from repro.hardware.platform import paper_platform
+
+        with pytest.raises(Exception, match="one model"):
+            ClusterSimulator(
+                platforms=[paper_platform("7b-a100"), paper_platform("13b-a100")],
+                num_replicas=2,
+                router="round-robin",
+            )
+
+    def test_platform_and_platforms_mutually_exclusive(self, platform_7b):
+        with pytest.raises(ValueError, match="exactly one"):
+            ClusterSimulator(
+                platform=platform_7b, platforms=[platform_7b], num_replicas=1, router="round-robin"
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            ClusterSimulator(num_replicas=1, router="round-robin")
+
+    def test_capacity_scale_and_override_mutually_exclusive(self, platform_7b):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ClusterSimulator(
+                platform=platform_7b,
+                num_replicas=1,
+                router="round-robin",
+                token_capacity_override=100,
+                capacity_scale=0.5,
+            )
+
+    def test_explicit_cost_model_requires_homogeneous_fleet(self):
+        from repro.engine.cost_model import CostModel
+
+        platforms = paper_platforms("7b-a100", "7b-4090")
+        with pytest.raises(ValueError, match="homogeneous"):
+            ClusterSimulator(
+                platforms=platforms,
+                num_replicas=2,
+                router="round-robin",
+                cost_model=CostModel(platforms[0]),
+            )
 
 
 class TestValidation:

@@ -6,13 +6,20 @@ import pytest
 
 from repro.engine.request import Request
 from repro.serving.routing import (
+    REASON_SATURATED,
     LeastKVLoadRouter,
     LeastOutstandingRouter,
     MemoryAwareRouter,
     ReplicaSnapshot,
+    ReplicaView,
     RoundRobinRouter,
+    Router,
+    RoutingAction,
+    RoutingDecision,
     available_routers,
     create_router,
+    router_overview,
+    shed_reason,
 )
 from tests.conftest import make_spec
 
@@ -178,6 +185,8 @@ class TestMemoryAware:
     def test_empty_replica_has_full_headroom(self):
         router = MemoryAwareRouter()
         snapshots = [snap(0, used=10, running=((10, 1),)), snap(1)]
+        assert router.predicted_headroom_tokens(snapshots[1]) == snapshots[1].token_capacity
+        # PR-1 name still answers (legacy alias).
         assert router.headroom_tokens(snapshots[1]) == snapshots[1].token_capacity
         assert router.select_replica(SPEC, snapshots) == 1
 
@@ -229,6 +238,231 @@ class TestMemoryAware:
         assert router.select_replica(SPEC, snapshots) == 1
 
 
+class TestRoutingDecision:
+    def test_route_constructor(self):
+        decision = RoutingDecision.route(3)
+        assert decision.is_route and not decision.is_reject and not decision.is_defer
+        assert decision.action is RoutingAction.ROUTE
+        assert decision.replica_id == 3
+
+    def test_reject_constructor(self):
+        decision = RoutingDecision.reject("overload")
+        assert decision.is_reject
+        assert decision.reason == "overload"
+        assert RoutingDecision.reject().reason == REASON_SATURATED
+
+    def test_defer_constructor(self):
+        decision = RoutingDecision.defer(until=4.5)
+        assert decision.is_defer
+        assert decision.retry_at == 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must name a replica_id"):
+            RoutingDecision(action=RoutingAction.ROUTE)
+        with pytest.raises(ValueError, match="only route decisions"):
+            RoutingDecision(action=RoutingAction.REJECT, replica_id=1)
+        with pytest.raises(ValueError, match="must carry retry_at"):
+            RoutingDecision(action=RoutingAction.DEFER)
+        with pytest.raises(ValueError, match="only defer decisions"):
+            RoutingDecision(action=RoutingAction.ROUTE, replica_id=0, retry_at=1.0)
+
+
+class TestDecideAPI:
+    @pytest.mark.parametrize("name", ["round-robin", "least-outstanding", "least-kv-load", "memory-aware"])
+    def test_builtins_return_route_decisions(self, name):
+        router = create_router(name)
+        decision = router.decide(SPEC, [snap(0), snap(1)])
+        assert isinstance(decision, RoutingDecision)
+        assert decision.is_route
+        assert decision.replica_id in (0, 1)
+
+    @pytest.mark.parametrize("name", ["round-robin", "least-outstanding", "least-kv-load", "memory-aware"])
+    def test_reject_when_saturated_knob(self, name):
+        router = create_router(name, reject_when_saturated=True)
+        saturated = [snap(i, capacity=10, used=10) for i in range(2)]
+        decision = router.decide(SPEC, saturated)
+        assert decision.is_reject
+        assert decision.reason == REASON_SATURATED
+        # One free replica and the request routes again.
+        assert router.decide(SPEC, [snap(0, capacity=10, used=10), snap(1)]).is_route
+
+    def test_shed_classes_reject_by_class(self):
+        router = LeastKVLoadRouter(shed_classes={"batch"})
+        saturated = [snap(0, capacity=10, used=10)]
+        batch_spec = make_spec(request_id="b0").with_sla_class("batch")
+        decision = router.decide(batch_spec, saturated)
+        assert decision.is_reject
+        assert decision.reason == shed_reason("batch")
+        # Interactive traffic still queues on the saturated fleet.
+        assert router.decide(SPEC, saturated).is_route
+
+    def test_defer_when_saturated(self):
+        router = LeastOutstandingRouter(defer_when_saturated=0.5)
+        saturated = [snap(0, capacity=10, used=10)]
+        decision = router.decide(SPEC, saturated, now=2.0)
+        assert decision.is_defer
+        assert decision.retry_at == pytest.approx(2.5)
+        assert router.decide(SPEC, [snap(0)], now=2.0).is_route
+
+    def test_rejection_beats_deferral(self):
+        router = LeastOutstandingRouter(reject_when_saturated=True, defer_when_saturated=0.5)
+        assert router.decide(SPEC, [snap(0, capacity=10, used=10)]).is_reject
+
+    def test_round_robin_cursor_survives_rejection(self):
+        router = RoundRobinRouter(reject_when_saturated=True)
+        open_views = [snap(0), snap(1)]
+        assert router.decide(SPEC, open_views).replica_id == 0
+        # A rejected request must not advance the rotation.
+        assert router.decide(SPEC, [snap(0, capacity=10, used=10), snap(1, capacity=10, used=10)]).is_reject
+        assert router.decide(SPEC, open_views).replica_id == 1
+
+    def test_describe_mentions_policy_knobs(self):
+        assert LeastKVLoadRouter().describe() == "least-kv-load"
+        described = LeastKVLoadRouter(
+            reject_when_saturated=True, shed_classes={"batch"}, defer_when_saturated=1.0
+        ).describe()
+        assert "reject-saturated" in described
+        assert "shed=batch" in described
+        assert "defer=1s" in described
+        assert MemoryAwareRouter().describe() == "memory-aware (window=1000)"
+
+
+class LegacyPickFirstRouter(Router):
+    """Old-style router implementing only select_replica() -> int."""
+
+    name = "legacy-first"
+
+    def select_replica(self, spec, snapshots):
+        return min(s.replica_id for s in snapshots)
+
+
+class TestLegacyAdapter:
+    def test_int_return_adapted_to_route_decision(self):
+        router = LegacyPickFirstRouter()
+        with pytest.warns(DeprecationWarning, match="select_replica"):
+            decision = router.decide(SPEC, [snap(1), snap(0)])
+        assert decision.is_route
+        assert decision.replica_id == 0
+
+    def test_warns_exactly_once_per_instance(self):
+        import warnings
+
+        router = LegacyPickFirstRouter()
+        with pytest.warns(DeprecationWarning):
+            router.decide(SPEC, [snap(0)])
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            router.decide(SPEC, [snap(0)])
+        assert not [w for w in captured if issubclass(w.category, DeprecationWarning)]
+
+    def test_adapter_honours_reject_when_saturated(self):
+        router = LegacyPickFirstRouter()
+        router.reject_when_saturated = True
+        with pytest.warns(DeprecationWarning):
+            router.decide(SPEC, [snap(0)])
+        decision = router.decide(SPEC, [snap(0, capacity=10, used=10)])
+        assert decision.is_reject
+
+    def test_router_without_either_method_fails_at_definition(self):
+        with pytest.raises(TypeError, match="must implement decide"):
+
+            class EmptyRouter(Router):
+                name = "empty"
+
+    def test_select_replica_unwraps_new_style_decisions(self):
+        assert LeastOutstandingRouter().select_replica(SPEC, [snap(0), snap(1)]) == 0
+
+    def test_select_replica_raises_on_non_route_decision(self):
+        router = LeastOutstandingRouter(reject_when_saturated=True)
+        with pytest.raises(RuntimeError, match="decide"):
+            router.select_replica(SPEC, [snap(0, capacity=10, used=10)])
+
+
+class TestReplicaViewNormalised:
+    def test_replica_view_is_replica_snapshot(self):
+        # The legacy name stays importable as an alias of the new type.
+        assert ReplicaSnapshot is ReplicaView
+
+    def test_headroom_properties_under_mixed_capacities(self):
+        big = snap(0, capacity=8000, used=4000, waiting=(400,))
+        small = snap(1, capacity=800, used=200, waiting=(100,))
+        assert big.headroom_tokens == 3600
+        assert small.headroom_tokens == 500
+        assert big.headroom_fraction == pytest.approx(0.45)
+        assert small.headroom_fraction == pytest.approx(0.625)
+        # Absolute headroom favours the big replica; normalised the small one.
+        assert big.headroom_tokens > small.headroom_tokens
+        assert big.headroom_fraction < small.headroom_fraction
+        assert big.load_fraction == pytest.approx(0.55)
+        assert small.load_fraction == pytest.approx(0.375)
+
+    def test_headroom_fraction_negative_when_oversubscribed(self):
+        view = snap(0, capacity=100, used=80, waiting=(40,))
+        assert view.headroom_tokens == -20
+        assert view.headroom_fraction == pytest.approx(-0.2)
+
+    def test_speed_factor_validated(self):
+        with pytest.raises(ValueError, match="speed_factor"):
+            ReplicaView(replica_id=0, token_capacity=10, used_tokens=0, speed_factor=0.0)
+
+    def test_least_kv_load_compares_fractions_not_tokens(self):
+        router = LeastKVLoadRouter()
+        # The big replica holds more absolute tokens but is relatively emptier.
+        views = [
+            snap(0, capacity=8000, used=3000),   # 37.5% load
+            snap(1, capacity=800, used=400),     # 50% load
+        ]
+        assert router.decide(SPEC, views).replica_id == 0
+
+    def test_memory_aware_normalises_predicted_peak_by_capacity(self):
+        router = MemoryAwareRouter(default_length=64)
+        assert router.predicted_peak_fraction(snap(0, capacity=1000)) == 0.0
+        loaded = snap(0, capacity=1000, used=200, running=((200, 1),))
+        fraction = router.predicted_peak_fraction(loaded)
+        assert fraction == pytest.approx(router.predicted_peak_tokens(loaded) / 1000)
+        assert router.predicted_headroom_fraction(loaded) == pytest.approx(1.0 - fraction)
+
+    def test_memory_aware_prefers_relative_headroom_on_mixed_fleet(self):
+        router = MemoryAwareRouter(default_length=8)
+        views = [
+            # Big replica: large absolute headroom but relatively fuller.
+            snap(0, capacity=8000, used=6400, running=((6400, 100),)),
+            # Small replica: less absolute headroom, far more relative slack.
+            snap(1, capacity=2000, used=200, running=((200, 100),)),
+        ]
+        assert router.predicted_headroom_tokens(views[0]) > router.predicted_headroom_tokens(views[1]) - 4000
+        assert router.decide(SPEC, views).replica_id == 1
+
+    def test_memory_aware_speed_weighting_breaks_fraction_ties(self):
+        router = MemoryAwareRouter(default_length=8)
+
+        def view(replica_id, speed):
+            return ReplicaView(
+                replica_id=replica_id,
+                token_capacity=1000,
+                used_tokens=100,
+                running_current_tokens=(100,),
+                running_generated_tokens=(50,),
+                speed_factor=speed,
+            )
+
+        # Identical normalised headroom; the faster replica wins.
+        assert router.decide(SPEC, [view(0, 0.5), view(1, 1.0)]).replica_id == 1
+        # Equal speeds fall back to the lowest-id tie-break.
+        assert router.decide(SPEC, [view(0, 1.0), view(1, 1.0)]).replica_id == 0
+
+    def test_memory_aware_charges_placement_footprint(self):
+        router = MemoryAwareRouter(default_length=8)
+        big_spec = make_spec(request_id="big", input_length=600, max_new_tokens=700)
+        views = [
+            # Relatively fuller, but the only replica the request fits in.
+            snap(0, capacity=8000, used=4000, running=((4000, 100),)),
+            # Relatively emptier, but a 600-token prompt oversubscribes it.
+            snap(1, capacity=700, used=100, running=((100, 100),)),
+        ]
+        assert router.decide(big_spec, views).replica_id == 0
+
+
 class TestRegistry:
     def test_known_names(self):
         assert available_routers() == [
@@ -249,6 +483,24 @@ class TestRegistry:
     def test_kwargs_forwarded(self):
         router = create_router("memory-aware", window_size=10)
         assert router.history.window_size == 10
+
+    def test_policy_kwargs_forwarded_to_every_router(self):
+        for name in available_routers():
+            router = create_router(name, reject_when_saturated=True, shed_classes=("batch",))
+            assert router.reject_when_saturated
+            assert router.shed_classes == frozenset({"batch"})
+
+    def test_unknown_kwargs_rejected_with_accepted_list(self):
+        with pytest.raises(TypeError, match="accepted") as excinfo:
+            create_router("round-robin", window_size=10)
+        assert "window_size" in str(excinfo.value)
+        assert "reject_when_saturated" in str(excinfo.value)
+
+    def test_overview_is_deterministic_and_documented(self):
+        overview = router_overview()
+        assert list(overview) == available_routers()
+        assert all(text for text in overview.values())
+        assert "round-robin" in overview
 
     def test_zero_replicas_rejected(self):
         with pytest.raises(ValueError, match="zero replicas"):

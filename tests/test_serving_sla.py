@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.request import Request
-from repro.serving.sla import SLA_LARGE_MODEL, SLA_SMALL_MODEL, SLASpec, sla_for_model
+from repro.serving.sla import (
+    SLA_LARGE_MODEL,
+    SLA_SMALL_MODEL,
+    ClassLimits,
+    SLASpec,
+    sla_for_model,
+    two_class_sla,
+)
 from tests.conftest import make_spec
 
 
@@ -76,3 +83,70 @@ class TestCompliance:
         request = finished_request(token_times=(1.0, 1.2, 5.0, 5.2))
         sla = SLASpec(ttft_limit=10.0, mtpot_limit=1.5)
         assert not sla.request_compliant(request)
+
+
+def finished_class_request(sla_class: str, arrival=0.0, token_times=(1.0, 1.5, 2.0)) -> Request:
+    request = Request(
+        spec=make_spec(
+            output_length=len(token_times), max_new_tokens=len(token_times) + 1
+        ).with_sla_class(sla_class),
+        arrival_time=arrival,
+    )
+    request.admit(arrival)
+    request.note_prefill(request.prompt_tokens)
+    for time in token_times:
+        request.deliver_token(time)
+    request.finish(token_times[-1])
+    return request
+
+
+class TestClassLimits:
+    def test_with_class_binds_overrides(self):
+        sla = SLASpec(ttft_limit=2.0, mtpot_limit=0.5).with_class(
+            "batch", ttft_limit=10.0, mtpot_limit=2.0
+        )
+        assert sla.limits_for("batch").ttft_limit == 10.0
+        assert sla.limits_for("batch").mtpot_limit == 2.0
+        # Unlisted classes fall back to the base bounds.
+        assert sla.limits_for("interactive").ttft_limit == 2.0
+        assert sla.limits_for("interactive").mtpot_limit == 0.5
+
+    def test_with_class_is_non_destructive(self):
+        base = SLASpec(ttft_limit=2.0, mtpot_limit=0.5)
+        extended = base.with_class("batch", ttft_limit=10.0, mtpot_limit=2.0)
+        assert not base.class_limits
+        assert set(extended.class_limits) == {"batch"}
+
+    def test_class_limits_validated(self):
+        with pytest.raises(ValueError):
+            ClassLimits(ttft_limit=0.0, mtpot_limit=1.0)
+        with pytest.raises(ValueError):
+            SLASpec(ttft_limit=1.0, mtpot_limit=1.0).with_class("x", -1.0, 1.0)
+
+    def test_compliance_judged_per_class(self):
+        # TTFT of the test request is 1.0s: inside batch's deadline, outside
+        # interactive's.
+        sla = SLASpec(ttft_limit=0.5, mtpot_limit=1.0).with_class(
+            "batch", ttft_limit=5.0, mtpot_limit=1.0
+        )
+        assert sla.request_compliant(finished_class_request("batch"))
+        assert not sla.request_compliant(finished_class_request("interactive"))
+
+    def test_two_class_sla_factory(self):
+        sla = two_class_sla(interactive=(2.5, 0.5), batch=(10.0, 1.5))
+        assert sla.ttft_limit == 2.5  # base = the stricter contract
+        assert sla.limits_for("interactive").ttft_limit == 2.5
+        assert sla.limits_for("batch").ttft_limit == 10.0
+        assert sla.limits_for("unknown-class").ttft_limit == 2.5
+
+    def test_describe_lists_classes(self):
+        sla = two_class_sla(interactive=(2.5, 0.5), batch=(10.0, 1.5))
+        text = sla.describe()
+        assert "batch" in text and "interactive" in text
+
+    def test_spec_stays_hashable(self):
+        # SLASpec was hashable before class limits existed; presets and
+        # class-carrying specs must both keep working as dict keys.
+        sla = two_class_sla(interactive=(2.5, 0.5), batch=(10.0, 1.5))
+        assert {SLA_SMALL_MODEL: 1, sla: 2}[sla] == 2
+        assert len({SLA_SMALL_MODEL, SLA_LARGE_MODEL}) == 2

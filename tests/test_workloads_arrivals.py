@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.workloads.arrivals import assign_bursty_arrivals, assign_poisson_arrivals
+from repro.workloads.arrivals import (
+    assign_bursty_arrivals,
+    assign_diurnal_arrivals,
+    assign_poisson_arrivals,
+)
 from tests.conftest import make_workload
 
 
@@ -122,3 +126,82 @@ class TestExplicitGenerator:
         )
         assert [s.arrival_time for s in first] == [s.arrival_time for s in first_replay]
         assert [s.arrival_time for s in second] == [s.arrival_time for s in second_replay]
+
+
+class TestDiurnalArrivals:
+    def stamp(self, num_requests=200, **overrides):
+        kwargs = dict(
+            base_rate=1.0,
+            burst_rate=10.0,
+            period=30.0,
+            amplitude=0.5,
+            burst_length=8,
+            cycle_length=16,
+            seed=3,
+        )
+        kwargs.update(overrides)
+        return assign_diurnal_arrivals(make_workload(num_requests=num_requests), **kwargs)
+
+    def test_arrival_times_increase(self):
+        times = [s.arrival_time for s in self.stamp()]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_deterministic_per_seed(self):
+        first = [s.arrival_time for s in self.stamp(seed=5)]
+        second = [s.arrival_time for s in self.stamp(seed=5)]
+        assert first == second
+        assert first != [s.arrival_time for s in self.stamp(seed=6)]
+
+    def test_zero_amplitude_matches_plain_bursty(self):
+        # With a flat envelope the diurnal process degenerates to the bursty
+        # one, drawing the identical exponential stream.
+        flat = self.stamp(amplitude=0.0)
+        bursty = assign_bursty_arrivals(
+            make_workload(num_requests=200),
+            base_rate=1.0,
+            burst_rate=10.0,
+            burst_length=8,
+            cycle_length=16,
+            seed=3,
+        )
+        assert [s.arrival_time for s in flat] == pytest.approx(
+            [s.arrival_time for s in bursty]
+        )
+
+    def test_envelope_modulates_local_rate(self):
+        # With bursts disabled (burst phase == whole cycle, rates equal) the
+        # crest half-period must pack arrivals more densely than the trough.
+        workload = assign_diurnal_arrivals(
+            make_workload(num_requests=2000),
+            base_rate=8.0,
+            burst_rate=8.0001,
+            period=40.0,
+            amplitude=0.9,
+            burst_length=16,
+            cycle_length=16,
+            seed=4,
+        )
+        times = np.array([s.arrival_time for s in workload])
+        # First half-period (envelope above 1) vs second (below 1).
+        crest = np.sum(times < 20.0)
+        trough = np.sum((times >= 20.0) & (times < 40.0))
+        assert crest > 1.5 * trough
+
+    def test_rng_matches_equivalent_seed(self):
+        by_seed = self.stamp(seed=7)
+        by_rng = self.stamp(rng=np.random.default_rng(7), seed=999)
+        assert [s.arrival_time for s in by_rng] == [s.arrival_time for s in by_seed]
+
+    def test_description_notes_the_envelope(self):
+        assert "diurnal" in self.stamp().description
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            self.stamp(period=0.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            self.stamp(amplitude=1.0)
+        with pytest.raises(ValueError, match="burst_rate"):
+            self.stamp(burst_rate=0.5)
+        with pytest.raises(ValueError, match="rates"):
+            self.stamp(base_rate=-1.0)

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.workloads.spec import (
+    SLA_CLASS_BATCH,
+    SLA_CLASS_INTERACTIVE,
     Workload,
+    assign_sla_classes,
     concatenate,
     interleave,
     scale_workload,
@@ -120,3 +124,60 @@ class TestComposition:
     def test_scale_workload_rejects_non_positive_factor(self):
         with pytest.raises(ValueError):
             scale_workload(make_workload(), 0.0)
+
+
+class TestSLAClasses:
+    def test_default_class_is_interactive(self):
+        assert make_spec().sla_class == SLA_CLASS_INTERACTIVE
+
+    def test_with_sla_class(self):
+        spec = make_spec().with_sla_class(SLA_CLASS_BATCH)
+        assert spec.sla_class == SLA_CLASS_BATCH
+        assert make_spec().sla_class == SLA_CLASS_INTERACTIVE
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError, match="sla_class"):
+            make_spec().with_sla_class("")
+
+    def test_class_counts_and_classes(self):
+        workload = Workload(
+            name="mixed",
+            requests=[
+                make_spec(request_id="a"),
+                make_spec(request_id="b").with_sla_class(SLA_CLASS_BATCH),
+                make_spec(request_id="c").with_sla_class(SLA_CLASS_BATCH),
+            ],
+        )
+        assert workload.sla_classes == [SLA_CLASS_BATCH, SLA_CLASS_INTERACTIVE]
+        assert workload.class_counts() == {SLA_CLASS_BATCH: 2, SLA_CLASS_INTERACTIVE: 1}
+
+    def test_assign_sla_classes_mixes_to_fractions(self):
+        workload = make_workload(num_requests=400)
+        stamped = assign_sla_classes(
+            workload, {SLA_CLASS_INTERACTIVE: 0.75, SLA_CLASS_BATCH: 0.25}, seed=1
+        )
+        counts = stamped.class_counts()
+        assert counts[SLA_CLASS_INTERACTIVE] + counts[SLA_CLASS_BATCH] == 400
+        assert 0.6 < counts[SLA_CLASS_INTERACTIVE] / 400 < 0.9
+        assert "classes:" in stamped.description
+
+    def test_assign_sla_classes_deterministic_and_rng_threaded(self):
+        workload = make_workload(num_requests=50)
+        fractions = {SLA_CLASS_INTERACTIVE: 0.5, SLA_CLASS_BATCH: 0.5}
+        by_seed = assign_sla_classes(workload, fractions, seed=9)
+        by_rng = assign_sla_classes(workload, fractions, rng=np.random.default_rng(9))
+        assert [s.sla_class for s in by_seed] == [s.sla_class for s in by_rng]
+
+    def test_assign_sla_classes_validation(self):
+        workload = make_workload(num_requests=4)
+        with pytest.raises(ValueError, match="at least one"):
+            assign_sla_classes(workload, {})
+        with pytest.raises(ValueError, match="sum to 1"):
+            assign_sla_classes(workload, {"a": 0.5, "b": 0.1})
+
+    def test_scale_workload_preserves_classes(self):
+        workload = Workload(
+            name="w", requests=[make_spec(request_id="a").with_sla_class(SLA_CLASS_BATCH)]
+        )
+        scaled = scale_workload(workload, 0.5)
+        assert scaled.requests[0].sla_class == SLA_CLASS_BATCH

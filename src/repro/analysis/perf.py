@@ -6,11 +6,13 @@ engine one decode iteration at a time; the event-jump fast path
 event-free iterations into vectorized macro-steps with bit-identical results.
 This module pins that claim under regression tracking:
 
-* three scenarios — single-engine goodput-vs-clients (the fig07 shape),
-  cluster routing (fig10), and autoscaling (fig11) — run at **full-scale**
-  request lengths (the regime the ROADMAP's fleet experiments are
-  bottlenecked on), each once with the fast path and once with the reference
-  one-iteration loop (``fast_path=False``);
+* five scenarios — single-engine goodput-vs-clients (the fig07 shape), a
+  deeply *saturated* single engine (non-empty waiting queue, the regime the
+  saturated-phase jump targets), cluster routing (fig10), autoscaling
+  (fig11), and a heterogeneous mixed-GPU fleet (the fig12 shape) — run at
+  **full-scale** request lengths (the regime the ROADMAP's fleet experiments
+  are bottlenecked on), each once with the fast path and once with the
+  reference one-iteration loop (``fast_path=False``);
 * the two runs' :class:`~repro.serving.results.RunResult` metrics are hashed
   and compared — any divergence fails the harness before any timing is
   reported;
@@ -19,12 +21,11 @@ This module pins that claim under regression tracking:
   the committed numbers.
 
 Speedups are reported against the *in-repo* reference loop, which already
-includes this PR's satellite fixes (O(1) pool accounting, incremental
-admission, vectorized prediction) — i.e. they are conservative.  The
-``seed_loop_seconds`` entries record the same scenarios measured once against
-the pre-PR tree (commit ``53a8e4e``), whose per-token O(batch) pool
-accounting made the reference loop slower still; they are kept for context
-and are not re-measured by CI.
+includes every satellite fix (O(1) pool accounting, incremental admission,
+vectorized prediction) — i.e. they are conservative.  The
+``seed_loop_seconds`` entries record each scenario measured once against the
+tree *before* the PR that introduced it (see :data:`SEED_LOOP_SECONDS`); they
+are kept for context and are not re-measured by CI.
 
 Run ``python -m repro.analysis.perf`` to regenerate ``BENCH_core.json``.
 """
@@ -36,19 +37,21 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.hardware.platform import paper_platform
+from repro.hardware.platform import Platform, paper_platform, paper_platforms
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler, create_autoscale_policy
 from repro.serving.cluster import ClusterSimulator
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.server import ServingSimulator
-from repro.workloads.arrivals import assign_bursty_arrivals
+from repro.workloads.arrivals import assign_bursty_arrivals, assign_diurnal_arrivals
 from repro.workloads.sharegpt import (
     generate_sharegpt_o1_workload,
     generate_sharegpt_workload,
 )
+from repro.workloads.spec import assign_sla_classes, scale_workload
+
 
 def _repo_root() -> Path:
     """The checkout root (where ``pyproject.toml`` lives), else the cwd."""
@@ -61,13 +64,19 @@ def _repo_root() -> Path:
 #: Repo-root output file; the perf trajectory is tracked in version control.
 BENCH_PATH = _repo_root() / "BENCH_core.json"
 
-#: Wall-clock seconds of each scenario under the *pre-PR* loop (commit
-#: ``53a8e4e``), measured once on the machine that produced the committed
-#: ``BENCH_core.json``.  Context only — CI never compares against these.
+#: Wall-clock seconds of each scenario under the *pre-PR* loop, measured once
+#: on the machine that produced the committed ``BENCH_core.json``.  Context
+#: only — CI never compares against these.  The first three entries are the
+#: loop before the event-jump fast path existed (commit ``53a8e4e``); the
+#: saturated and heterogeneous entries are the loop *with* that fast path but
+#: before saturated-phase jumps (commit ``7edef41``), i.e. each entry is the
+#: best the tree could do before the PR that introduced its scenario.
 SEED_LOOP_SECONDS = {
     "fig07_goodput_vs_clients": 14.5,
     "fig10_cluster_routing": 2.70,
     "fig11_autoscaling": 2.38,
+    "fig07_saturated": 3.52,
+    "fig12_heterogeneous": 0.38,
 }
 
 
@@ -179,6 +188,63 @@ def _fig07_scenario(fast_path: bool) -> tuple[float, str]:
     return elapsed, _hash_parts(parts)
 
 
+def _fig07_saturated_scenario(fast_path: bool) -> tuple[float, str]:
+    """Deep saturation: the regime the saturated-phase event jump targets.
+
+    256 closed-loop clients against *half* the 7B pool keep the waiting queue
+    non-empty for ~90% of all iterations, so the admission scheduler (and its
+    RNG stream) is consulted essentially every step — the workload shape that
+    dominated fleet-sweep wall-clock before ``try_jump_saturated``.
+    """
+    platform = paper_platform("7b-a100")
+    workload = generate_sharegpt_o1_workload(400, seed=71)
+    simulator = ServingSimulator(
+        platform,
+        create_scheduler("past-future", reserved_fraction=0.03, seed=7, num_samples=4),
+        token_capacity_override=platform.token_capacity // 2,
+        chunked_prefill_tokens=8192,
+        fast_path=fast_path,
+    )
+    start = time.perf_counter()
+    result = simulator.run_closed_loop(workload, num_clients=256)
+    elapsed = time.perf_counter() - start
+    return elapsed, run_fingerprint(result)
+
+
+def _make_cluster(
+    fast_path: bool,
+    *,
+    platform: Platform | None = None,
+    platforms: Sequence[Platform] | None = None,
+    num_replicas: int,
+    router: str,
+    token_capacity_override: int | None = None,
+    capacity_scale: float | None = None,
+    chunked_prefill_tokens: int | None = 8192,
+    autoscaler: Autoscaler | None = None,
+) -> ClusterSimulator:
+    """Cluster factory shared by the fleet scenarios.
+
+    Accepts either one ``platform`` (homogeneous fleet) or per-replica
+    ``platforms`` (heterogeneous fleet, launches cycling the list) plus the
+    matching capacity knob, so the harness can track mixed-GPU scenarios with
+    the same plumbing the homogeneous ones use.
+    """
+    return ClusterSimulator(
+        platform=platform,
+        platforms=platforms,
+        num_replicas=num_replicas,
+        router=router,
+        scheduler_name="aggressive",
+        scheduler_kwargs={"watermark": 0.95},
+        token_capacity_override=token_capacity_override,
+        capacity_scale=capacity_scale,
+        chunked_prefill_tokens=chunked_prefill_tokens,
+        autoscaler=autoscaler,
+        fast_path=fast_path,
+    )
+
+
 def _fig10_workload():
     workload = generate_sharegpt_workload(400, seed=71)
     return assign_bursty_arrivals(
@@ -200,15 +266,51 @@ def _fig10_scenario(fast_path: bool) -> tuple[float, str]:
     """
     platform = paper_platform("7b-a100")
     workload = _fig10_workload()
-    simulator = ClusterSimulator(
+    simulator = _make_cluster(
+        fast_path,
         platform=platform,
         num_replicas=4,
         router="memory-aware",
-        scheduler_name="aggressive",
-        scheduler_kwargs={"watermark": 0.95},
         token_capacity_override=platform.token_capacity // 8,
-        chunked_prefill_tokens=8192,
-        fast_path=fast_path,
+    )
+    start = time.perf_counter()
+    result = simulator.run_open_loop(workload)
+    elapsed = time.perf_counter() - start
+    return elapsed, cluster_fingerprint(result)
+
+
+def _fig12_heterogeneous_scenario(fast_path: bool) -> tuple[float, str]:
+    """Mixed-GPU fleet under diurnal two-class traffic (the Figure 12 shape).
+
+    Two A100 replicas plus one RTX-4090 replica (per-replica capacities scaled
+    by ``capacity_scale`` so their ~6.6x ratio survives) behind the
+    capacity-normalised memory-aware router, serving a diurnal ShareGPT-o1
+    trace stamped with the interactive/batch class mix.  Tracks the
+    heterogeneous-fleet plumbing from the placement-API redesign under the
+    same fast-path-vs-reference regression harness as the homogeneous
+    scenarios.
+    """
+    workload = scale_workload(
+        generate_sharegpt_o1_workload(300, seed=71, max_new_tokens=4096), 0.5
+    )
+    workload = assign_sla_classes(workload, {"interactive": 0.7, "batch": 0.3}, seed=5)
+    workload = assign_diurnal_arrivals(
+        workload,
+        base_rate=0.5,
+        burst_rate=20.0,
+        period=60.0,
+        amplitude=0.6,
+        burst_length=60,
+        cycle_length=100,
+        seed=9,
+    )
+    simulator = _make_cluster(
+        fast_path,
+        platforms=paper_platforms("7b-a100", "7b-a100", "7b-4090"),
+        num_replicas=3,
+        router="memory-aware",
+        capacity_scale=1.0 / 8.0,
+        chunked_prefill_tokens=4096,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
@@ -242,16 +344,13 @@ def _fig11_scenario(fast_path: bool) -> tuple[float, str]:
         warmup_delay=30.0,
         sample_window=40.0,
     )
-    simulator = ClusterSimulator(
+    simulator = _make_cluster(
+        fast_path,
         platform=platform,
         num_replicas=2,
         router="least-outstanding",
-        scheduler_name="aggressive",
-        scheduler_kwargs={"watermark": 0.95},
         token_capacity_override=platform.token_capacity // 8,
-        chunked_prefill_tokens=8192,
         autoscaler=autoscaler,
-        fast_path=fast_path,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
@@ -266,6 +365,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         run=_fig07_scenario,
     ),
     Scenario(
+        name="fig07_saturated",
+        description="single engine at half pool, 256 clients, ~90% saturated iterations",
+        run=_fig07_saturated_scenario,
+    ),
+    Scenario(
         name="fig10_cluster_routing",
         description="4-replica fleet, memory-aware router, bursty full-length trace",
         run=_fig10_scenario,
@@ -274,6 +378,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="fig11_autoscaling",
         description="elastic 1-6 replica fleet, predictive policy, bursty full-length trace",
         run=_fig11_scenario,
+    ),
+    Scenario(
+        name="fig12_heterogeneous",
+        description="mixed 2x A100 + 1x RTX-4090 fleet, memory-aware router, diurnal two-class trace",
+        run=_fig12_heterogeneous_scenario,
     ),
 )
 
@@ -338,8 +447,10 @@ def run_benchmarks(names: list[str] | None = None) -> dict:
         "schema": 1,
         "note": (
             "reference_seconds is the in-repo reference loop (fast_path=False), "
-            "which already includes this PR's satellite optimisations; "
-            "seed_loop_seconds is the pre-PR loop measured once at commit 53a8e4e "
+            "which already includes every satellite optimisation; "
+            "seed_loop_seconds is each scenario's pre-PR loop, measured once at "
+            "the commit before the PR that introduced the scenario (53a8e4e for "
+            "the original three, 7edef41 for fig07_saturated/fig12_heterogeneous) "
             "and is not re-measured by CI."
         ),
         "scenarios": {},

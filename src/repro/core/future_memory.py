@@ -131,6 +131,66 @@ def memory_timeline(entries: Sequence[BatchEntry]) -> list[int]:
     return [int(x) for x in occupied]
 
 
+def batched_peak_with_candidate(
+    current: np.ndarray,
+    remaining: np.ndarray,
+    candidate_current: int,
+    candidate_remaining: np.ndarray,
+) -> np.ndarray:
+    """Eq. 2–4 peaks of *batch + one candidate* for many what-if rows at once.
+
+    Row ``k`` answers the same question :meth:`FutureMemoryIndex.peak_with`
+    answers for one iteration: what would the peak future memory be if the
+    candidate joined the running batch whose per-request state is
+    ``(current[k], remaining[k])``?  The saturated-phase event jump evaluates
+    one row per upcoming iteration, so the whole proof window is a handful of
+    vectorized array operations instead of per-iteration Python.
+
+    The candidate is appended as the *last* column before the stable
+    descending sort, which places it after every incumbent with an equal
+    remaining length — the same tie order :class:`FutureMemoryIndex` commits
+    to, so row ``k`` is bit-identical (exact integer arithmetic) to the
+    incremental evaluation the reference admission loop performs.
+
+    Args:
+        current: ``(rows, batch)`` current context tokens per request.
+        remaining: ``(rows, batch)`` predicted remaining tokens per request.
+        candidate_current: the candidate's current context tokens (constant —
+            a waiting request does not grow while it waits).
+        candidate_remaining: ``(rows,)`` predicted remaining tokens of the
+            candidate, one prediction per row.
+
+    Returns:
+        ``(rows,)`` int64 peak future memory with the candidate included.
+    """
+    current = np.asarray(current, dtype=np.int64)
+    remaining = np.asarray(remaining, dtype=np.int64)
+    candidate_remaining = np.asarray(candidate_remaining, dtype=np.int64)
+    if current.ndim != 2 or current.shape != remaining.shape:
+        raise ValueError("current and remaining must be 2-D arrays of equal shape")
+    rows = current.shape[0]
+    if candidate_remaining.shape != (rows,):
+        raise ValueError("candidate_remaining must have one entry per row")
+    if (
+        candidate_current < 0
+        or np.any(current < 0)
+        or np.any(remaining < 0)
+        or np.any(candidate_remaining < 0)
+    ):
+        raise ValueError("token counts must be non-negative")
+    current_all = np.concatenate(
+        (current, np.full((rows, 1), candidate_current, dtype=np.int64)), axis=1
+    )
+    remaining_all = np.concatenate((remaining, candidate_remaining[:, None]), axis=1)
+    order = np.argsort(-remaining_all, axis=1, kind="stable")
+    current_sorted = np.take_along_axis(current_all, order, axis=1)
+    remaining_sorted = np.take_along_axis(remaining_all, order, axis=1)
+    prefix = np.cumsum(current_sorted, axis=1)
+    counts = np.arange(1, current_all.shape[1] + 1, dtype=np.int64)
+    profile = prefix + remaining_sorted * counts[None, :]
+    return profile.max(axis=1)
+
+
 class FutureMemoryIndex:
     """Incremental Eq. 2–4 evaluation for per-candidate admission tests.
 

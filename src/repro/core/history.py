@@ -39,6 +39,8 @@ class OutputLengthHistory:
         self._default_length = default_length
         self._lengths: deque[int] = deque(maxlen=window_size)
         self._version = 0
+        self._sorted_cache: np.ndarray | None = None
+        self._sorted_cache_version = -1
 
     @property
     def window_size(self) -> int:
@@ -85,6 +87,22 @@ class OutputLengthHistory:
         if self.is_empty:
             return np.array([self._default_length], dtype=np.int64)
         return np.fromiter(self._lengths, dtype=np.int64, count=len(self._lengths))
+
+    def sorted_snapshot(self) -> np.ndarray:
+        """Ascending-sorted window, cached until the next mutation.
+
+        Per-iteration predictor construction and the batched saturated-phase
+        admission path both want the window sorted (conditional sampling is a
+        ``searchsorted`` over it); sorting per consultation would be
+        O(w log w) each time.  The cache is invalidated by :attr:`version`,
+        so the array is re-sorted only when an observation actually arrived.
+        Callers must treat the returned array as read-only — it is shared
+        between consumers until the window changes.
+        """
+        if self._sorted_cache is None or self._sorted_cache_version != self._version:
+            self._sorted_cache = np.sort(self.snapshot())
+            self._sorted_cache_version = self._version
+        return self._sorted_cache
 
     def clear(self) -> None:
         """Drop all observations (used between simulation runs)."""

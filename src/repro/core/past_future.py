@@ -14,17 +14,73 @@ Per continuous-batching iteration the scheduler
 4. stops at the first candidate that does not fit (FCFS admission).
 
 The scheduler never inspects the hidden true output lengths.
+
+For the engine's saturated-phase event jump
+(:meth:`repro.engine.engine.InferenceEngine.try_jump_saturated`) the
+scheduler additionally implements
+:meth:`PastFutureScheduler.saturated_no_admit_horizon`: it pre-draws the
+predictor samples of many upcoming iterations — each from the exact
+per-iteration generator the sequential path would seed — evaluates all of
+their head-admission tests in a few vectorized array operations, and reports
+how many leading iterations provably admit nothing.  The RNG-stream contract
+is spelled out in ``docs/simulation-semantics.md`` and enforced by
+``tests/test_saturated_jump.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.future_memory import FutureMemoryIndex
+from repro.core.future_memory import FutureMemoryIndex, batched_peak_with_candidate
 from repro.core.history import OutputLengthHistory
-from repro.core.predictor import Aggregation, OutputLengthPredictor
+from repro.core.predictor import (
+    Aggregation,
+    OutputLengthPredictor,
+    aggregate_samples,
+    conditional_prediction_samples,
+)
 from repro.engine.request import Request
 from repro.schedulers.base import Scheduler, SchedulingContext
+
+#: First chunk size of the lazy saturated-horizon evaluation.  Kept tiny so an
+#: iteration that *does* admit (the common case outside deep saturation) is
+#: discovered after evaluating almost nothing; chunks then grow geometrically
+#: so deep no-admit phases still amortise to a few vectorized passes.  Growth
+#: is doubling rather than anything steeper because the per-iteration
+#: generator draws are the dominant cost: evaluating past the first admitting
+#: iteration is pure waste, and doubling caps that overshoot at 2x.
+_HORIZON_FIRST_CHUNK = 2
+
+#: Geometric growth factor and ceiling for subsequent horizon chunks.
+_HORIZON_CHUNK_GROWTH = 2
+_HORIZON_CHUNK_MAX = 1024
+
+
+def _probe_choice_via_integers() -> bool:
+    """Whether ``Generator.choice`` (replace, no weights) equals index draws.
+
+    For a uniform with-replacement ``choice`` the documented fast path draws
+    ``integers(0, n, size)`` and indexes the population, which skips
+    ``choice``'s considerable per-call overhead — a win worth having on the
+    saturated-horizon path, where one tiny draw happens per proven iteration.
+    Stream identity with :meth:`OutputLengthPredictor.predict_new` is the
+    whole point, so the equivalence (values *and* post-call generator state)
+    is probed once at import; if a future numpy changes ``choice``'s
+    internals, the probe fails closed and the slow-but-identical ``choice``
+    call is used instead.
+    """
+    probe_a = np.random.default_rng(0xC0FFEE)
+    probe_b = np.random.default_rng(0xC0FFEE)
+    population = np.arange(3, 17, dtype=np.int64)
+    drawn = probe_a.choice(population, size=(3, 2), replace=True)
+    indexed = population[probe_b.integers(0, population.size, size=(3, 2))]
+    return bool(
+        np.array_equal(drawn, indexed)
+        and probe_a.bit_generator.state == probe_b.bit_generator.state
+    )
+
+
+_CHOICE_VIA_INTEGERS = _probe_choice_via_integers()
 
 
 class PastFutureScheduler(Scheduler):
@@ -69,32 +125,26 @@ class PastFutureScheduler(Scheduler):
         self.max_running_requests = max_running_requests
         self.history = OutputLengthHistory(window_size=window_size, default_length=default_length)
         self._sample_counter = 0
-        self._sorted_window: np.ndarray | None = None
-        self._sorted_window_version = -1
 
     # ------------------------------------------------------------- lifecycle
     def on_run_start(self) -> None:
+        """Reset the history window and the per-iteration sampling counter."""
         self.history.clear()
         self._sample_counter = 0
-        self._sorted_window = None
-        self._sorted_window_version = -1
 
     def on_request_finished(self, request: Request, time: float) -> None:
+        """Record the finished request's true output length in the window."""
         self.history.record(max(request.generated_tokens, 1))
 
     # -------------------------------------------------------------- scheduling
     def _make_predictor(self) -> OutputLengthPredictor:
         # A fresh per-call seed keeps runs reproducible while avoiding
-        # re-drawing identical samples every iteration.  The sorted window is
-        # cached across iterations (invalidated by the history's version
-        # counter) so per-call construction is O(1) instead of O(w log w).
+        # re-drawing identical samples every iteration.  The ascending-sorted
+        # window is cached on the history itself (invalidated by its version
+        # counter), so per-call construction is O(1) instead of O(w log w).
         self._sample_counter += 1
-        version = self.history.version
-        if self._sorted_window is None or self._sorted_window_version != version:
-            self._sorted_window = np.sort(self.history.snapshot())
-            self._sorted_window_version = version
         return OutputLengthPredictor(
-            lengths=self._sorted_window,
+            lengths=self.history.sorted_snapshot(),
             seed=self.seed + self._sample_counter,
             num_samples=self.num_samples,
             aggregation=self.aggregation,
@@ -141,6 +191,7 @@ class PastFutureScheduler(Scheduler):
         return current, remaining
 
     def schedule(self, context: SchedulingContext) -> list[Request]:
+        """Admit the longest queue prefix whose predicted peak memory fits."""
         if not context.waiting:
             return []
         predictor = self._make_predictor()
@@ -169,5 +220,111 @@ class PastFutureScheduler(Scheduler):
                 admitted.append(head)
         return self._respect_batch_cap(context, admitted)
 
+    # -------------------------------------------------- saturated-phase jumps
+    def saturated_no_admit_horizon(self, context: SchedulingContext, max_steps: int) -> int:
+        """Count upcoming iterations whose head-admission test provably fails.
+
+        For each of the next ``max_steps`` uniform-decode iterations this
+        replays the admission decision :meth:`schedule` would make — with the
+        *same* randomness.  A no-admit iteration consumes the per-iteration
+        predictor stream in a fixed pattern (one conditional draw for the
+        running batch, then one draw for the queue head, then the FCFS loop
+        breaks), so the whole window can be pre-drawn: one small generator per
+        iteration, seeded exactly as :meth:`_make_predictor` would seed it,
+        with all downstream math — conditional sampling, cap clamping, and the
+        Eq. 2–4 peak with the head as candidate — evaluated in a handful of
+        vectorized operations over the window
+        (:func:`repro.core.predictor.conditional_prediction_samples` /
+        :func:`repro.core.future_memory.batched_peak_with_candidate`).
+
+        Evaluation is lazy: a tiny first chunk, growing geometrically, so an
+        iteration that *does* admit is discovered almost immediately while
+        deep saturation amortises to a few vectorized passes.  The method
+        draws only from throwaway generators; persistent state
+        (``_sample_counter``) advances in :meth:`on_saturated_steps_fused`,
+        for exactly the iterations the engine actually fuses.
+        """
+        if max_steps <= 0 or not context.waiting or not context.running:
+            # With an empty running batch the progress guarantee admits the
+            # head, so no saturated iteration can be proven silent.
+            return 0
+        head = context.waiting[0]
+        budget = self.admission_budget(context)
+        window = self.history.sorted_snapshot()
+        running = context.running
+        generated = np.array([r.generated_tokens for r in running], dtype=np.int64)
+        caps = np.array([r.spec.max_new_tokens for r in running], dtype=np.int64)
+        current = np.array([r.current_context_tokens for r in running], dtype=np.int64)
+        head_generated = head.generated_tokens
+        head_current = head.current_context_tokens
+        head_cap = head.spec.max_new_tokens
+        batch = generated.size
+        num_samples = self.num_samples
+
+        horizon = 0
+        chunk = _HORIZON_FIRST_CHUNK
+        while horizon < max_steps:
+            size = min(chunk, max_steps - horizon)
+            run_uniforms = np.empty((size, num_samples, batch), dtype=np.float64)
+            if head_generated > 0:
+                cand_uniforms = np.empty((size, num_samples, 1), dtype=np.float64)
+            else:
+                cand_choices = np.empty((size, num_samples, 1), dtype=np.int64)
+            for j in range(size):
+                # The exact generator `size` sequential _make_predictor calls
+                # would seed, consumed in the exact order schedule() consumes
+                # it: the running-batch conditional draw first, the head
+                # candidate's draw second.
+                rng = np.random.default_rng(
+                    self.seed + self._sample_counter + 1 + horizon + j
+                )
+                run_uniforms[j] = rng.random((num_samples, batch))
+                if head_generated > 0:
+                    cand_uniforms[j] = rng.random((num_samples, 1))
+                elif _CHOICE_VIA_INTEGERS:
+                    cand_choices[j] = window[rng.integers(0, window.size, size=(num_samples, 1))]
+                else:
+                    cand_choices[j] = rng.choice(window, size=(num_samples, 1), replace=True)
+            offsets = np.arange(horizon, horizon + size, dtype=np.int64)
+            gens = generated[None, :] + offsets[:, None]
+            samples = conditional_prediction_samples(window, run_uniforms, gens)
+            predicted = aggregate_samples(samples, self.aggregation).astype(np.int64)
+            predicted = np.minimum(predicted, caps[None, :])
+            predicted = np.maximum(predicted, gens + 1)
+            remaining = predicted - gens
+            current_rows = current[None, :] + offsets[:, None]
+            if head_generated > 0:
+                cand_gen = np.full((size, 1), head_generated, dtype=np.int64)
+                cand_samples = conditional_prediction_samples(window, cand_uniforms, cand_gen)
+                cand_predicted = aggregate_samples(cand_samples, self.aggregation)
+            else:
+                cand_predicted = aggregate_samples(cand_choices, self.aggregation)
+            cand_predicted = cand_predicted.astype(np.int64)[:, 0]
+            cand_predicted = np.minimum(cand_predicted, head_cap)
+            cand_predicted = np.maximum(cand_predicted, head_generated + 1)
+            cand_remaining = cand_predicted - head_generated
+            peaks = batched_peak_with_candidate(
+                current_rows, remaining, head_current, cand_remaining
+            )
+            admit = peaks <= budget
+            if admit.any():
+                return horizon + int(np.argmax(admit))
+            horizon += size
+            chunk = min(chunk * _HORIZON_CHUNK_GROWTH, _HORIZON_CHUNK_MAX)
+        return horizon
+
+    def on_saturated_steps_fused(self, steps: int) -> None:
+        """Advance the per-iteration predictor seed past the fused iterations.
+
+        Each fused no-admit iteration would have consumed one
+        :meth:`_make_predictor` call; bumping the counter by ``steps`` leaves
+        the next reference-path consultation with exactly the seed it would
+        have had, so the RNG stream across the whole run is bit-identical.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        self._sample_counter += steps
+
     def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
         return f"past-future (reserved={self.reserved_fraction:.0%}, window={self.window_size})"

@@ -13,6 +13,16 @@ When the running batch is small the paper repeats the sampling several times
 to stabilise the estimate; ``num_samples``/``aggregation`` expose that knob
 (aggregating with ``max`` keeps the estimate on the safe side, which is what
 admission control wants).
+
+Because the RNG stream is part of the reproduced semantics (see
+``docs/simulation-semantics.md``), every batched entry point here documents —
+and the test suite proves — exactly how it consumes the generator relative to
+the scalar calls it replaces.  :meth:`OutputLengthPredictor.predict_running`
+is itself the one-iteration case of
+:meth:`OutputLengthPredictor.predict_running_batch`, whose single
+``(steps, num_samples, n)`` uniform draw fills C-contiguously and therefore
+consumes the stream in exactly the order of ``steps`` successive
+``(num_samples, n)`` draws.
 """
 
 from __future__ import annotations
@@ -25,15 +35,54 @@ import numpy as np
 Aggregation = Literal["max", "mean", "median"]
 
 
-def _aggregate(samples: np.ndarray, how: Aggregation) -> np.ndarray:
-    """Collapse the sample axis (axis 0) of a (num_samples, n) array."""
+def aggregate_samples(samples: np.ndarray, how: Aggregation) -> np.ndarray:
+    """Collapse the sample axis (axis ``-2``) of a ``(..., num_samples, n)`` array."""
     if how == "max":
-        return samples.max(axis=0)
+        return samples.max(axis=-2)
     if how == "mean":
-        return np.ceil(samples.mean(axis=0))
+        return np.ceil(samples.mean(axis=-2))
     if how == "median":
-        return np.ceil(np.median(samples, axis=0))
+        return np.ceil(np.median(samples, axis=-2))
     raise ValueError(f"unknown aggregation {how!r}")
+
+
+def conditional_prediction_samples(
+    sorted_lengths: np.ndarray,
+    uniforms: np.ndarray,
+    generated: np.ndarray,
+) -> np.ndarray:
+    """Map pre-drawn uniforms to conditional length samples ``P(l | l > generated)``.
+
+    The shared kernel behind :meth:`OutputLengthPredictor.predict_running`,
+    :meth:`OutputLengthPredictor.predict_running_batch`, and the Past-Future
+    scheduler's batched saturated-phase admission path (which stacks the
+    uniforms of several per-iteration predictors and maps them in one call).
+
+    Args:
+        sorted_lengths: the historical window, ascending.
+        uniforms: samples in ``[0, 1)`` of shape ``(..., num_samples, n)``.
+        generated: generated-token counts of shape ``(..., n)`` — the same
+            shape as ``uniforms`` minus the sample axis.
+
+    Returns:
+        Length samples with the shape of ``uniforms``.  Entries whose
+        generated count meets or exceeds every historical length fall back to
+        ``generated + 1`` (the most optimistic consistent estimate).
+    """
+    n = sorted_lengths.size
+    # Index of the first historical length strictly greater than each
+    # generated count; everything at or beyond it is a valid sample.
+    starts = np.searchsorted(sorted_lengths, generated, side="right")
+    starts_b = np.expand_dims(starts, -2)
+    # Draw a uniform index in [start, n); exhausted tails handled below.
+    spans = np.maximum(n - starts_b, 1)
+    indices = starts_b + np.floor(uniforms * spans).astype(np.int64)
+    np.minimum(indices, n - 1, out=indices)
+    predictions = sorted_lengths[indices]
+    exhausted = starts_b >= n
+    if exhausted.any():
+        predictions = np.where(exhausted, np.expand_dims(generated, -2) + 1, predictions)
+    return predictions
 
 
 @dataclass
@@ -61,6 +110,7 @@ class OutputLengthPredictor:
     presorted: bool = False
 
     def __post_init__(self) -> None:
+        """Validate the window, sort it unless promised sorted, seed the RNG."""
         lengths = np.asarray(self.lengths, dtype=np.int64)
         if lengths.ndim != 1 or lengths.size == 0:
             raise ValueError("lengths must be a non-empty 1-D array")
@@ -107,7 +157,7 @@ class OutputLengthPredictor:
         if count == 0:
             return np.zeros(0, dtype=np.int64)
         samples = self._rng.choice(self._sorted, size=(self.num_samples, count), replace=True)
-        return _aggregate(samples, self.aggregation).astype(np.int64)
+        return aggregate_samples(samples, self.aggregation).astype(np.int64)
 
     def predict_running(self, generated: np.ndarray | list[int]) -> np.ndarray:
         """Resample predictions for running requests from ``P(l | l > generated)``.
@@ -117,32 +167,54 @@ class OutputLengthPredictor:
         most optimistic consistent estimate (the request may stop at the very
         next token), matching the scheduler's behaviour of trusting the
         history only while it remains informative.
+
+        This is exactly :meth:`predict_running_batch` with ``steps=1``: a
+        ``(1, num_samples, n)`` uniform draw consumes the generator stream
+        identically to an ``(num_samples, n)`` draw (C-contiguous fill), so
+        delegating keeps both values and stream bit-identical while leaving a
+        single sampling kernel to maintain.
+        """
+        return self.predict_running_batch(generated, 1)[0]
+
+    def predict_running_batch(
+        self,
+        generated: np.ndarray | list[int],
+        steps: int,
+    ) -> np.ndarray:
+        """Predictions for ``steps`` successive uniform-decode iterations.
+
+        Row ``k`` holds the predictions :meth:`predict_running` would return
+        for generated counts ``generated + k`` — the running batch after ``k``
+        silent decode iterations in which every resident grew by one token.
+
+        The entire batch is one ``(steps, num_samples, n)`` uniform draw.
+        Because :meth:`numpy.random.Generator.random` fills C-contiguously,
+        that single call consumes the generator stream in exactly the order of
+        ``steps`` sequential ``(num_samples, n)`` draws, so both the returned
+        predictions and the post-call generator state are bit-identical to the
+        sequential loop it replaces (``tests/test_saturated_jump.py`` compares
+        ``bit_generator.state`` directly).
+
+        Args:
+            generated: generated-token counts of the running batch, 1-D.
+            steps: number of successive iterations to pre-draw.
+
+        Returns:
+            ``(steps, len(generated))`` int64 predictions.
         """
         generated_arr = np.asarray(generated, dtype=np.int64)
         if generated_arr.ndim != 1:
             raise ValueError("generated must be 1-D")
-        if generated_arr.size == 0:
-            return np.zeros(0, dtype=np.int64)
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if generated_arr.size == 0 or steps == 0:
+            return np.zeros((steps, generated_arr.size), dtype=np.int64)
         if np.any(generated_arr < 0):
             raise ValueError("generated token counts must be non-negative")
-        sorted_lengths = self._sorted
-        n = sorted_lengths.size
-        # Index of the first historical length strictly greater than each
-        # generated count; everything at or beyond it is a valid sample.
-        starts = np.searchsorted(sorted_lengths, generated_arr, side="right")
-        # One (num_samples, n) draw consumes the generator stream in exactly
-        # the order of num_samples successive row draws (C-contiguous fill),
-        # so the samples are identical to the per-row loop it replaces.
-        uniforms = self._rng.random((self.num_samples, generated_arr.size))
-        # Draw a uniform index in [start, n); exhausted tails handled below.
-        spans = np.maximum(n - starts, 1)
-        indices = starts + np.floor(uniforms * spans).astype(np.int64)
-        np.minimum(indices, n - 1, out=indices)
-        predictions = sorted_lengths[indices]
-        exhausted = starts >= n
-        if exhausted.any():
-            predictions = np.where(exhausted, generated_arr + 1, predictions)
-        return _aggregate(predictions, self.aggregation).astype(np.int64)
+        uniforms = self._rng.random((steps, self.num_samples, generated_arr.size))
+        gens = generated_arr[None, :] + np.arange(steps, dtype=np.int64)[:, None]
+        samples = conditional_prediction_samples(self._sorted, uniforms, gens)
+        return aggregate_samples(samples, self.aggregation).astype(np.int64)
 
 
 def build_predictor(

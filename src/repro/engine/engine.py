@@ -64,9 +64,11 @@ class JumpResult:
     """Outcome of one event-jump macro-step (``steps`` fused iterations).
 
     Produced by :meth:`InferenceEngine.try_jump` when the engine can prove
-    that no scheduling event occurs for the next ``steps`` iterations; the
-    macro-step admits nothing, finishes nothing, and evicts nothing — it only
-    fast-forwards decode.
+    that no scheduling event occurs for the next ``steps`` iterations, and by
+    :meth:`InferenceEngine.try_jump_saturated` when the admission scheduler
+    additionally proves its next ``steps`` decisions admit nothing; either
+    way the macro-step admits nothing, finishes nothing, and evicts nothing —
+    it only fast-forwards decode.
     """
 
     #: number of decode iterations fused into this macro-step.
@@ -108,10 +110,11 @@ class InferenceEngine:
             prefills each admitted request in a single iteration.
         token_capacity_override: replaces the platform's KV token capacity,
             used by scaled-down experiments and unit tests.
-        fast_path: whether :meth:`try_jump` may fuse event-free decode
-            iterations into vectorized macro-steps.  Metrics are bit-identical
-            either way; the flag exists so any future discrepancy can be
-            bisected against the reference loop in one flip.
+        fast_path: whether :meth:`try_jump` / :meth:`try_jump_saturated` may
+            fuse provably event-free decode iterations into vectorized
+            macro-steps.  Metrics are bit-identical either way; the flag
+            exists so any future discrepancy can be bisected against the
+            reference loop in one flip.
     """
 
     def __init__(
@@ -437,18 +440,19 @@ class InferenceEngine:
         return future_required
 
     # ------------------------------------------------------------- event jump
-    def silent_steps_bound(self) -> int:
-        """Upper bound on decode iterations provably free of any event.
+    def _uniform_decode_bound(self) -> int:
+        """Iterations of provably uniform decode, ignoring the waiting queue.
 
-        An iteration is *silent* when it admits nothing (empty waiting
-        queue), prefills nothing, finishes nothing, and cannot evict (the
-        pool is guaranteed to grow every resident by one token).  Returns 0
-        whenever the next iteration might do any of those, in which case the
-        caller must take the reference :meth:`step` path.
+        The shared engine-side half of both event-jump proofs: batch
+        membership cannot change for this many iterations because every
+        resident is decoding, nobody reaches its last token (finishes are
+        events), and the pool provably grows every resident each step (so no
+        eviction is possible).  Whether the *scheduler* would also stay
+        silent is the caller's concern: :meth:`silent_steps_bound` requires
+        an empty waiting queue, :meth:`try_jump_saturated` asks the scheduler
+        to prove its decisions instead.
         """
-        if not self.fast_path or self.waiting:
-            return 0
-        if not self.batch.requests:
+        if not self.fast_path or not self.batch.requests:
             return 0
         cache = self._silent_cache
         if cache is not None and cache[0] != self._batch_epoch:
@@ -466,6 +470,19 @@ class InferenceEngine:
         if bound <= 0:
             return 0
         return self.pool.max_uniform_growth(bound)
+
+    def silent_steps_bound(self) -> int:
+        """Upper bound on decode iterations provably free of any event.
+
+        An iteration is *silent* when it admits nothing (empty waiting
+        queue), prefills nothing, finishes nothing, and cannot evict (the
+        pool is guaranteed to grow every resident by one token).  Returns 0
+        whenever the next iteration might do any of those, in which case the
+        caller must take the reference :meth:`step` path.
+        """
+        if self.waiting:
+            return 0
+        return self._uniform_decode_bound()
 
     def try_jump(
         self,
@@ -508,9 +525,106 @@ class InferenceEngine:
             bound = max_steps
         if bound < min_steps:
             return None
+        return self._execute_jump(time, bound, horizon, max_time, min_steps, queued_requests=0)
+
+    def try_jump_any(
+        self,
+        time: float,
+        horizon: float | None = None,
+        max_steps: int | None = None,
+        max_time: float | None = None,
+        min_steps: int = 2,
+    ) -> JumpResult | None:
+        """Try whichever event-jump applies to the current queue state.
+
+        The single entry point drivers use: an empty waiting queue makes the
+        next iterations candidates for a silent jump (:meth:`try_jump`), a
+        non-empty one for a saturated jump (:meth:`try_jump_saturated`).
+        Keeping the dispatch here means callers only plumb horizons, not
+        queue-state knowledge.
+        """
+        if self.waiting:
+            return self.try_jump_saturated(time, horizon, max_steps, max_time, min_steps)
+        return self.try_jump(time, horizon, max_steps, max_time, min_steps)
+
+    def try_jump_saturated(
+        self,
+        time: float,
+        horizon: float | None = None,
+        max_steps: int | None = None,
+        max_time: float | None = None,
+        min_steps: int = 2,
+    ) -> JumpResult | None:
+        """Fuse decode iterations whose admission decisions provably admit nothing.
+
+        The saturated-phase counterpart of :meth:`try_jump`: while the
+        waiting queue is non-empty, every iteration consults the admission
+        scheduler — whose RNG stream is part of the reproduced semantics — so
+        iterations are only fusable when the *scheduler itself* proves that
+        its next decisions would all return the empty list
+        (:meth:`~repro.schedulers.base.Scheduler.saturated_no_admit_horizon`).
+        The engine first establishes the uniform-decode half of the proof
+        (nothing prefills, finishes, or can evict — exactly as for a silent
+        jump), hands the scheduler the scheduling context of the first
+        upcoming iteration, and fuses the smaller of the two horizons.  After
+        a successful macro-step the scheduler is told how many consultations
+        were fused
+        (:meth:`~repro.schedulers.base.Scheduler.on_saturated_steps_fused`)
+        so RNG-consuming policies advance their stream to exactly where K
+        sequential consultations would have left it.
+
+        Arguments and the ``None`` fallback contract are those of
+        :meth:`try_jump`; the macro-step additionally records the (constant)
+        waiting-queue depth in the memory timeline, as the reference
+        iterations would.
+        """
+        if not self.fast_path or not self.waiting:
+            return None
+        bound = self._uniform_decode_bound()
+        if max_steps is not None and max_steps < bound:
+            bound = max_steps
+        if bound < min_steps:
+            return None
+        # The context the scheduler would see at the first fused iteration;
+        # ``step`` accounts for the pre-admission counter increment in
+        # :meth:`step`.  Built once per attempt (the reference loop builds
+        # one per iteration).
+        context = SchedulingContext(
+            time=time,
+            step=self._step_counter + 1,
+            running=list(self.batch),
+            waiting=list(self.waiting),
+            token_capacity=self.pool.token_capacity,
+            used_tokens=self.pool.used_tokens,
+        )
+        bound = min(bound, self.scheduler.saturated_no_admit_horizon(context, bound))
+        if bound < min_steps:
+            return None
+        result = self._execute_jump(
+            time, bound, horizon, max_time, min_steps, queued_requests=len(self.waiting)
+        )
+        if result is not None:
+            self.scheduler.on_saturated_steps_fused(result.steps)
+        return result
+
+    def _execute_jump(
+        self,
+        time: float,
+        bound: int,
+        horizon: float | None,
+        max_time: float | None,
+        min_steps: int,
+        queued_requests: int,
+    ) -> JumpResult | None:
+        """Advance up to ``bound`` proven-event-free iterations in one macro-step.
+
+        Shared tail of :meth:`try_jump` and :meth:`try_jump_saturated`; the
+        caller has already proven that the next ``bound`` iterations are pure
+        uniform decode with no admissions.
+        """
         requests = self.batch.requests
         cache = self._silent_cache
-        assert cache is not None  # established by silent_steps_bound
+        assert cache is not None  # established by the caller's bound proof
         batch_size = cache[1]
         context_tokens = cache[2]
         durations = self.cost_model.decode_step_durations(batch_size, context_tokens, bound)
@@ -540,7 +654,7 @@ class InferenceEngine:
             used_tokens_per_step=batch_size,
             future_required_tokens=future_required,
             running_requests=batch_size,
-            queued_requests=0,
+            queued_requests=queued_requests,
         )
         self._step_counter += steps
         self.stats.decoding_steps += steps

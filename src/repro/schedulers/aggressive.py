@@ -54,5 +54,24 @@ class AggressiveScheduler(Scheduler):
                 admitted.append(head)
         return self._respect_batch_cap(context, admitted)
 
+    def saturated_no_admit_horizon(self, context: SchedulingContext, max_steps: int) -> int:
+        """Prove no-admit for a whole uniform-decode window at once.
+
+        The watermark test compares *current* occupancy plus the head's
+        prompt against the budget.  During uniform decode the occupancy only
+        grows (by the batch size every iteration) while the head's footprint
+        is constant, so if the head does not fit now it cannot fit at any
+        later iteration of the window either — one comparison proves the
+        whole horizon.
+        """
+        if max_steps <= 0 or not context.waiting or not context.running:
+            return 0
+        if self._batch_cap_blocks_window(context):
+            return max_steps
+        budget = int(context.token_capacity * self.watermark)
+        occupied = context.running_context_tokens
+        head_cost = context.waiting[0].current_context_tokens
+        return max_steps if occupied + head_cost > budget else 0
+
     def describe(self) -> str:
         return f"aggressive (watermark={self.watermark:.0%})"

@@ -66,6 +66,65 @@ class Scheduler(abc.ABC):
         preserving their relative order, and must not mutate the context.
         """
 
+    # -------------------------------------------------- saturated-phase jumps
+    def saturated_no_admit_horizon(self, context: SchedulingContext, max_steps: int) -> int:
+        """How many upcoming iterations provably admit nothing (fast path).
+
+        While the waiting queue is non-empty the engine must consult the
+        scheduler every iteration, which blocks the event-jump fast path.
+        This hook lets a scheduler *prove* that its next ``max_steps``
+        admission decisions would all return the empty list, so the engine
+        may fuse those iterations into one macro-step
+        (:meth:`repro.engine.engine.InferenceEngine.try_jump_saturated`).
+
+        ``context`` describes the *first* upcoming iteration.  The engine
+        guarantees the proof window is a **uniform decode phase**: batch
+        membership is fixed, every resident is decoding and grows by exactly
+        one token per iteration, nothing finishes or is evicted, and the
+        waiting queue (in particular its head) is unchanged.  Implementations
+        must model that drift themselves (e.g. occupancy grows by the batch
+        size each iteration); a policy that depends on anything else —
+        wall-clock time, the step counter, state this base class does not
+        know about — must return 0, which is always safe and simply falls
+        back to the reference loop.
+
+        Returning ``k > 0`` is a *bit-identity contract*: for each of the
+        next ``k`` iterations, :meth:`schedule` — with whatever randomness it
+        would have drawn — would admit nothing.  RNG-consuming schedulers
+        must additionally advance their stream state for fused iterations in
+        :meth:`on_saturated_steps_fused` so a later reference-path
+        consultation sees exactly the generator position it would have seen
+        had every iteration been stepped individually.
+
+        Must not mutate observable scheduling state (the engine may fuse
+        fewer iterations than the returned horizon, or none at all).
+        """
+        return 0
+
+    def on_saturated_steps_fused(self, steps: int) -> None:
+        """Commit ``steps`` fused no-admit iterations (advance RNG bookkeeping).
+
+        Called by the engine exactly once per saturated macro-step, with the
+        number of iterations actually fused (``<=`` the horizon previously
+        returned).  Stateless schedulers need not override this.
+        """
+
+    def _batch_cap_blocks_window(self, context: SchedulingContext) -> bool:
+        """Whether the batch cap alone proves a whole no-admit window.
+
+        With ``max_running_requests`` reached, :meth:`_respect_batch_cap`
+        trims every admission to nothing, and batch membership is fixed for
+        the duration of a uniform-decode window — so the decision is "admit
+        nothing" for as long as the window lasts.  Only valid for policies
+        that draw **no randomness**: an RNG-consuming scheduler's admission
+        loop may consume a data-dependent number of draws before the trim,
+        so it must not use this shortcut.
+        """
+        return (
+            self.max_running_requests is not None
+            and len(context.running) >= self.max_running_requests
+        )
+
     # ------------------------------------------------------------- lifecycle
     def on_request_finished(self, request: Request, time: float) -> None:
         """Called by the engine when a request completes generation."""

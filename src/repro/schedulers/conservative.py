@@ -62,6 +62,24 @@ class ConservativeScheduler(Scheduler):
                 admitted.append(head)
         return self._respect_batch_cap(context, admitted)
 
+    def saturated_no_admit_horizon(self, context: SchedulingContext, max_steps: int) -> int:
+        """Prove no-admit for a whole uniform-decode window at once.
+
+        Worst-case footprints (prompt + generation cap) do not change as a
+        request decodes, so the committed sum of a fixed-membership batch is
+        constant across the window: if the head does not fit now, it does not
+        fit at any iteration until membership changes (which ends the window
+        by definition).
+        """
+        if max_steps <= 0 or not context.waiting or not context.running:
+            return 0
+        if self._batch_cap_blocks_window(context):
+            return max_steps
+        budget = int(context.token_capacity * self.overcommit)
+        committed = sum(self._worst_case_tokens(r) for r in context.running)
+        head_cost = self._worst_case_tokens(context.waiting[0])
+        return max_steps if committed + head_cost > budget else 0
+
     def describe(self) -> str:
         if self.overcommit == 1.0:
             return "conservative (no overcommit)"

@@ -193,9 +193,11 @@ class StaticPolicy(AutoscalerPolicy):
         self.size = size
 
     def target_size(self, view: FleetView) -> int:
+        """Return the fixed size (or the initial fleet size when unset)."""
         return self.size if self.size is not None else view.provisioned
 
     def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
         return f"{self.name} (size={self.size if self.size is not None else 'initial'})"
 
 
@@ -238,12 +240,14 @@ class ReactivePolicy(AutoscalerPolicy):
         self._last_action: float | None = None
 
     def on_run_start(self) -> None:
+        """Reset the cooldown clock for a fresh run."""
         self._last_action = None
 
     def _cooled_down(self, time: float) -> bool:
         return self._last_action is None or time - self._last_action >= self.cooldown
 
     def target_size(self, view: FleetView) -> int:
+        """Step the fleet up/down on saturation-rate thresholds with cooldown."""
         current = view.provisioned
         if not self._cooled_down(view.time):
             return current
@@ -256,6 +260,7 @@ class ReactivePolicy(AutoscalerPolicy):
         return current
 
     def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
         return (
             f"{self.name} (up>={self.scale_up_threshold:g}, "
             f"down<={self.scale_down_threshold:g}, cooldown={self.cooldown:g}s)"
@@ -330,10 +335,12 @@ class PredictivePolicy(AutoscalerPolicy):
         self._last_shrink: float | None = None
 
     def on_run_start(self) -> None:
+        """Reset the demand forecaster and the shrink cooldown."""
         self._forecaster.on_run_start()
         self._last_shrink = None
 
     def on_request_finished(self, request: Request, time: float) -> None:
+        """Feed the finished request's output length to the forecaster."""
         self._forecaster.on_request_finished(request, time)
 
     def bind_warmup(self, warmup_delay: float) -> None:
@@ -352,6 +359,7 @@ class PredictivePolicy(AutoscalerPolicy):
         return resident + incoming
 
     def target_size(self, view: FleetView) -> int:
+        """Size the fleet so forecast peak KV demand fits the target utilisation."""
         current = view.provisioned
         capacity = view.replica_capacity
         if capacity <= 0:
@@ -390,6 +398,7 @@ class PredictivePolicy(AutoscalerPolicy):
         return current - 1
 
     def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
         horizon = self.horizon if self.horizon is not None else self._effective_horizon
         return (
             f"{self.name} (util<={self.target_utilization:g}, horizon={horizon:g}s, "

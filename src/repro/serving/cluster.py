@@ -210,7 +210,9 @@ class ClusterSimulator:
         limits: safety bounds over the whole fleet (``max_steps`` counts
             iterations summed across replicas).
         fast_path: let replicas fuse provably event-free decode iterations
-            into macro-steps (see :meth:`InferenceEngine.try_jump`), bounded
+            into macro-steps (see :meth:`InferenceEngine.try_jump` and, for
+            non-empty waiting queues,
+            :meth:`InferenceEngine.try_jump_saturated`), bounded
             so every cross-replica observation point (arrival routing,
             autoscale decisions, warm-up completions, defer retries, and —
             for closed-loop clients — any other replica's steps) sees
@@ -320,6 +322,7 @@ class ClusterSimulator:
 
     @reject_when_saturated.setter
     def reject_when_saturated(self, value: bool) -> None:
+        """Toggle the cluster-level knob (the router's own policy is untouched)."""
         self._force_reject_when_saturated = value
 
     @property
@@ -661,7 +664,13 @@ class ClusterSimulator:
                             horizon is None or other.clock < horizon
                         ):
                             horizon = other.clock
-                jump = step_replica.engine.try_jump(
+                # The same horizon bounds the saturated-phase jump: a replica
+                # whose waiting queue is non-empty may still fast-forward when
+                # its scheduler proves the next admission decisions all admit
+                # nothing (the queue, like the batch, is replica-local state,
+                # so fused no-admit iterations commute the same way silent
+                # ones do).
+                jump = step_replica.engine.try_jump_any(
                     step_replica.clock,
                     horizon=horizon,
                     max_steps=self.limits.max_steps - total_steps,

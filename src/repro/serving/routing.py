@@ -513,6 +513,7 @@ class RoundRobinRouter(Router):
         self._last: int | None = None
 
     def on_run_start(self) -> None:
+        """Forget the cursor so replays of a run are deterministic."""
         self._last = None
 
     def decide(
@@ -521,6 +522,7 @@ class RoundRobinRouter(Router):
         views: Sequence[ReplicaView],
         now: float = 0.0,
     ) -> RoutingDecision:
+        """Route to the next routable replica id after the cursor."""
         decision = self.admission_check(spec, views, now)
         if decision is not None:
             return decision
@@ -550,6 +552,7 @@ class LeastOutstandingRouter(Router):
         views: Sequence[ReplicaView],
         now: float = 0.0,
     ) -> RoutingDecision:
+        """Route to the candidate replica with the fewest in-flight requests."""
         return self._decide_min(spec, views, now, lambda view: view.outstanding)
 
 
@@ -570,6 +573,7 @@ class LeastKVLoadRouter(Router):
         views: Sequence[ReplicaView],
         now: float = 0.0,
     ) -> RoutingDecision:
+        """Route to the candidate replica with the lowest fractional KV load."""
         return self._decide_min(spec, views, now, lambda view: view.load_fraction)
 
 
@@ -621,9 +625,11 @@ class MemoryAwareRouter(Router):
         self.history = OutputLengthHistory(window_size=window_size, default_length=default_length)
 
     def on_run_start(self) -> None:
+        """Drop the fleet-wide output-length history for a fresh run."""
         self.history.clear()
 
     def on_request_finished(self, request: Request, time: float) -> None:
+        """Record the finished request's output length (fleet-wide window)."""
         self.history.record(max(request.generated_tokens, 1))
 
     # ------------------------------------------------------------ prediction
@@ -759,6 +765,7 @@ class MemoryAwareRouter(Router):
         views: Sequence[ReplicaView],
         now: float = 0.0,
     ) -> RoutingDecision:
+        """Route to the candidate with the best speed-weighted headroom score."""
         decision = self.admission_check(spec, views, now)
         if decision is not None:
             # Reject/defer before sorting the window: a saturated burst is

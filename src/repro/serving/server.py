@@ -33,16 +33,26 @@ from repro.workloads.spec import Workload
 class LoadGenerator(Protocol):
     """The interface both client models implement."""
 
-    def start(self, time: float = 0.0) -> None: ...
+    def start(self, time: float = 0.0) -> None:
+        """Begin generating arrivals at simulation time ``time``."""
+        ...
 
-    def on_request_finished(self, time: float) -> None: ...
+    def on_request_finished(self, time: float) -> None:
+        """Observe a completion (closed-loop clients schedule their next request)."""
+        ...
 
-    def pop_arrivals(self, now: float) -> list: ...
+    def pop_arrivals(self, now: float) -> list:
+        """Return (and consume) every arrival with timestamp <= ``now``."""
+        ...
 
-    def next_arrival_time(self) -> float | None: ...
+    def next_arrival_time(self) -> float | None:
+        """Timestamp of the next scheduled arrival, or ``None`` if exhausted."""
+        ...
 
     @property
-    def drained(self) -> bool: ...
+    def drained(self) -> bool:
+        """Whether no further arrivals can ever be produced."""
+        ...
 
 
 @dataclass
@@ -58,9 +68,12 @@ class ServingSimulator:
 
     With ``fast_path`` (the default) the loop asks the engine to fuse
     provably event-free decode iterations into vectorized macro-steps,
-    bounded by the next scheduled arrival; ``fast_path=False`` forces the
-    reference one-iteration-at-a-time loop.  Results are bit-identical, so
-    the flag is purely a bisection escape hatch.
+    bounded by the next scheduled arrival — including saturated phases,
+    where the admission scheduler itself proves its next decisions admit
+    nothing (:meth:`InferenceEngine.try_jump_saturated`);
+    ``fast_path=False`` forces the reference one-iteration-at-a-time loop.
+    Results are bit-identical, so the flag is purely a bisection escape
+    hatch.
     """
 
     def __init__(
@@ -119,8 +132,12 @@ class ServingSimulator:
                 # Event-jump: fuse decode iterations up to the next arrival.
                 # No request finishes inside a jump, so closed-loop clients
                 # cannot schedule new arrivals mid-macro-step and the horizon
-                # is complete knowledge of future events.
-                jump = engine.try_jump(
+                # is complete knowledge of future events.  With an empty
+                # waiting queue the silent jump applies; with a non-empty one
+                # the saturated jump asks the scheduler to prove its next
+                # admission decisions are all "admit nothing" (consuming its
+                # RNG bookkeeping exactly as the reference loop would).
+                jump = engine.try_jump_any(
                     time,
                     horizon=generator.next_arrival_time(),
                     max_steps=self.limits.max_steps - step,

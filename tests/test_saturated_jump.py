@@ -1,0 +1,401 @@
+"""Saturated-phase event jumps: RNG-stream identity and bit-identical results.
+
+The saturated-phase fast path
+(:meth:`repro.engine.engine.InferenceEngine.try_jump_saturated`) fuses
+iterations whose admission decisions provably admit nothing.  Its correctness
+rests on three independently testable claims, covered here in order:
+
+1. **Predictor stream identity** — a single
+   :meth:`~repro.core.predictor.OutputLengthPredictor.predict_running_batch`
+   draw returns the same predictions *and* leaves the generator in the same
+   state as the sequential per-iteration calls it replaces (compared via
+   ``bit_generator.state``, not just values).
+2. **Scheduler decision equality** — the batched
+   :meth:`~repro.core.past_future.PastFutureScheduler.saturated_no_admit_horizon`
+   replays exactly the decisions (and the RNG bookkeeping) that sequential
+   :meth:`schedule` calls would have produced across a uniform decode window.
+3. **End-to-end bit-identity** — whole simulations with the saturated jump
+   enabled produce byte-identical metrics to the reference loop
+   (``fast_path=False``), across workload families, chunked prefill on/off,
+   and schedulers, while the jump demonstrably fires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import cluster_snapshot, run_snapshot
+from repro.core.history import OutputLengthHistory
+from repro.core.past_future import PastFutureScheduler
+from repro.core.predictor import OutputLengthPredictor
+from repro.engine.request import Request, RequestState
+from repro.hardware.platform import paper_platform
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.oracle import OracleScheduler
+from repro.schedulers.registry import create_scheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.server import ServingSimulator
+from repro.workloads.burstgpt import generate_conversation_trace
+from repro.workloads.sharegpt import generate_sharegpt_o1_workload, generate_sharegpt_workload
+from repro.workloads.spec import RequestSpec, scale_workload
+
+PLATFORM = paper_platform("7b-a100")
+
+
+# ----------------------------------------------------- predictor stream identity
+@pytest.mark.parametrize("aggregation", ["max", "mean", "median"])
+@pytest.mark.parametrize("num_samples", [1, 4])
+def test_predict_running_batch_matches_sequential_calls(aggregation, num_samples):
+    """One (steps, S, n) draw == `steps` sequential draws: values and state."""
+    lengths = np.array([5, 9, 9, 14, 30, 120, 450], dtype=np.int64)
+    generated = np.array([0, 3, 9, 29, 500], dtype=np.int64)
+    batched = OutputLengthPredictor(
+        lengths, seed=42, num_samples=num_samples, aggregation=aggregation
+    )
+    sequential = OutputLengthPredictor(
+        lengths, seed=42, num_samples=num_samples, aggregation=aggregation
+    )
+    steps = 17
+    rows = batched.predict_running_batch(generated, steps)
+    assert rows.shape == (steps, generated.size)
+    for k in range(steps):
+        np.testing.assert_array_equal(rows[k], sequential.predict_running(generated + k))
+    # The decisive check: the two generators consumed identical streams, so
+    # any *future* draw also agrees.
+    assert (
+        batched._rng.bit_generator.state == sequential._rng.bit_generator.state
+    )
+    np.testing.assert_array_equal(batched.predict_new(3), sequential.predict_new(3))
+
+
+def test_predict_running_batch_zero_steps_consumes_nothing():
+    predictor = OutputLengthPredictor(np.array([4, 8, 15]), seed=1)
+    untouched = OutputLengthPredictor(np.array([4, 8, 15]), seed=1)
+    rows = predictor.predict_running_batch([1, 2], 0)
+    assert rows.shape == (0, 2)
+    assert predictor._rng.bit_generator.state == untouched._rng.bit_generator.state
+
+
+def test_history_sorted_snapshot_is_cached_until_mutation():
+    history = OutputLengthHistory(window_size=8, default_length=64)
+    seeded = history.sorted_snapshot()
+    np.testing.assert_array_equal(seeded, [64])
+    assert history.sorted_snapshot() is seeded  # cached object, no re-sort
+    history.record(9)
+    history.record(3)
+    resorted = history.sorted_snapshot()
+    np.testing.assert_array_equal(resorted, [3, 9])
+    assert history.sorted_snapshot() is resorted
+    history.clear()
+    np.testing.assert_array_equal(history.sorted_snapshot(), [64])
+
+
+# ------------------------------------------------- scheduler decision equality
+def _decoding_request(
+    request_id: str, prompt: int, generated: int, cap: int = 4096, true_length: int | None = None
+) -> Request:
+    request = Request(
+        spec=RequestSpec(
+            request_id=request_id,
+            input_length=prompt,
+            output_length=true_length if true_length is not None else cap,
+            max_new_tokens=cap,
+        ),
+        arrival_time=0.0,
+    )
+    request.state = RequestState.DECODING
+    request.generated_tokens = generated
+    return request
+
+
+def _queued_request(
+    request_id: str, prompt: int, cap: int = 4096, generated: int = 0, true_length: int | None = None
+) -> Request:
+    request = Request(
+        spec=RequestSpec(
+            request_id=request_id,
+            input_length=prompt,
+            output_length=true_length if true_length is not None else cap,
+            max_new_tokens=cap,
+        ),
+        arrival_time=0.0,
+    )
+    request.generated_tokens = generated
+    return request
+
+
+def _context(running, waiting, capacity, step=1):
+    return SchedulingContext(
+        time=0.0,
+        step=step,
+        running=list(running),
+        waiting=list(waiting),
+        token_capacity=capacity,
+        used_tokens=sum(r.current_context_tokens for r in running),
+    )
+
+
+def _grow_uniformly(requests, steps=1):
+    for request in requests:
+        request.generated_tokens += steps
+
+
+@pytest.mark.parametrize("head_generated", [0, 7])
+@pytest.mark.parametrize("num_samples", [1, 3])
+def test_saturated_horizon_replays_sequential_decisions(head_generated, num_samples):
+    """Horizon == index of the first admitting iteration, with identical RNG use.
+
+    The batched scheduler proves a horizon once; the sequential scheduler
+    replays the same uniform decode window one schedule() call at a time.
+    They must agree on every decision *and* end with the same sample counter,
+    so the first post-window consultation draws from the same generator seed.
+    (At this capacity the parametrizations cover horizon 0 — the head admits
+    immediately — as well as small positive horizons where sampling noise
+    lets the head in mid-window.)
+    """
+    capacity = 4800
+
+    def build():
+        scheduler = PastFutureScheduler(
+            reserved_fraction=0.05, seed=13, num_samples=num_samples
+        )
+        scheduler.on_run_start()
+        # A shortish history makes sampled predictions small enough that the
+        # head eventually fits as residents' conditional tails shrink.
+        for length in (40, 60, 90, 120, 200, 320, 500, 800):
+            scheduler.history.record(length)
+        running = [
+            _decoding_request("r0", prompt=900, generated=10),
+            _decoding_request("r1", prompt=700, generated=45),
+            _decoding_request("r2", prompt=1100, generated=80),
+            _decoding_request("r3", prompt=400, generated=5),
+        ]
+        waiting = [
+            _queued_request("q0", prompt=600, generated=head_generated),
+            _queued_request("q1", prompt=50),
+        ]
+        return scheduler, running, waiting
+
+    max_steps = 200
+    batched, running, waiting = build()
+    horizon = batched.saturated_no_admit_horizon(
+        _context(running, waiting, capacity), max_steps
+    )
+    # The proof must not touch persistent state until steps are committed.
+    assert batched._sample_counter == 0
+
+    sequential, running, waiting = build()
+    replayed = 0
+    while replayed < max_steps:
+        admitted = sequential.schedule(_context(running, waiting, capacity, step=replayed + 1))
+        if admitted:
+            break
+        replayed += 1
+        _grow_uniformly(running)
+    assert horizon == replayed
+
+    # Committing the fused steps leaves the batched scheduler's RNG
+    # bookkeeping exactly where the sequential replay ended up (minus the
+    # admitting consultation itself, which the engine re-runs for real).
+    batched.on_saturated_steps_fused(horizon)
+    assert batched._sample_counter == horizon
+    assert sequential._sample_counter == replayed + (1 if replayed < max_steps else 0)
+    if horizon < max_steps:
+        # Consulting the batched scheduler for real at the post-window state
+        # re-draws the admitting iteration's exact samples and admits.
+        admitted = batched.schedule(
+            _context(running, waiting, capacity, step=horizon + 1)
+        )
+        assert admitted, "horizon ended on an iteration that does not admit"
+
+
+def test_saturated_horizon_spans_full_window_when_head_cannot_fit():
+    """A head larger than the leftover budget blocks across every chunk."""
+    scheduler = PastFutureScheduler(reserved_fraction=0.05, seed=13, num_samples=2)
+    scheduler.on_run_start()
+    for length in (40, 60, 90, 120, 200, 320, 500, 800):
+        scheduler.history.record(length)
+    running = [
+        _decoding_request("r0", prompt=900, generated=10),
+        _decoding_request("r1", prompt=700, generated=45),
+    ]
+    # 3200 prompt tokens + the 1655-token batch exceed the 4560 budget on
+    # current tokens alone, so no sampled remaining can let the head in.
+    waiting = [_queued_request("q0", prompt=3200)]
+    capacity = 4800
+    max_steps = 150  # crosses several geometric chunks (2+4+8+...)
+    horizon = scheduler.saturated_no_admit_horizon(
+        _context(running, waiting, capacity), max_steps
+    )
+    assert horizon == max_steps
+    replayed = 0
+    while replayed < max_steps:
+        assert not scheduler.schedule(
+            _context(running, waiting, capacity, step=replayed + 1)
+        )
+        replayed += 1
+        _grow_uniformly(running)
+
+
+def test_saturated_horizon_zero_when_empty_batch_or_queue():
+    scheduler = PastFutureScheduler(seed=3)
+    scheduler.on_run_start()
+    running = [_decoding_request("r0", prompt=100, generated=4)]
+    waiting = [_queued_request("q0", prompt=100)]
+    assert scheduler.saturated_no_admit_horizon(_context(running, [], 4096), 50) == 0
+    assert scheduler.saturated_no_admit_horizon(_context([], waiting, 4096), 50) == 0
+    assert scheduler.saturated_no_admit_horizon(_context(running, waiting, 4096), 0) == 0
+
+
+def test_conservative_horizon_is_all_or_nothing():
+    scheduler = ConservativeScheduler()
+    running = [_decoding_request("r0", prompt=1000, generated=10, cap=2000)]
+    blocked = [_queued_request("q0", prompt=1500, cap=2000)]
+    tiny = [_queued_request("q1", prompt=10, cap=100)]
+    # Worst-case footprints are constant: 3000 committed + 3500 > 4096 forever.
+    assert scheduler.saturated_no_admit_horizon(_context(running, blocked, 4096), 75) == 75
+    # 3000 + 110 fits, so the very next iteration admits: no proof possible.
+    assert scheduler.saturated_no_admit_horizon(_context(running, tiny, 4096), 75) == 0
+
+
+def test_oracle_horizon_matches_sequential_schedule():
+    scheduler = OracleScheduler()
+    running = [
+        _decoding_request("r0", prompt=500, generated=100, cap=700, true_length=650),
+        _decoding_request("r1", prompt=800, generated=20, cap=700, true_length=580),
+    ]
+    waiting = [_queued_request("q0", prompt=400, cap=500, true_length=450)]
+    capacity = 3000
+    max_steps = 120
+    horizon = scheduler.saturated_no_admit_horizon(
+        _context(running, waiting, capacity), max_steps
+    )
+    replayed = 0
+    while replayed < max_steps:
+        if scheduler.schedule(_context(running, waiting, capacity)):
+            break
+        replayed += 1
+        _grow_uniformly(running)
+    assert horizon == replayed
+
+
+# ------------------------------------------------------- end-to-end identity
+CAPACITY = 2048
+
+SATURATED_WORKLOADS = {
+    "sharegpt": lambda: scale_workload(generate_sharegpt_workload(80, seed=3), 0.25),
+    "sharegpt-o1": lambda: scale_workload(generate_sharegpt_o1_workload(50, seed=5), 0.125),
+    "burstgpt-conversation": lambda: scale_workload(
+        generate_conversation_trace(80, seed=7), 0.25
+    ),
+}
+
+
+def _run_single(scheduler_name, scheduler_kwargs, workload, *, chunked, fast_path, clients):
+    simulator = ServingSimulator(
+        PLATFORM,
+        create_scheduler(scheduler_name, **scheduler_kwargs),
+        token_capacity_override=CAPACITY,
+        chunked_prefill_tokens=chunked,
+        fast_path=fast_path,
+    )
+    result = simulator.run_closed_loop(workload, num_clients=clients)
+    return simulator, result
+
+
+@pytest.mark.parametrize("workload_name", list(SATURATED_WORKLOADS))
+@pytest.mark.parametrize("chunked", [None, 256])
+def test_saturated_past_future_bit_identical(workload_name, chunked):
+    """Deep saturation (clients >> capacity): fast == reference, bit for bit."""
+    build = SATURATED_WORKLOADS[workload_name]
+    fast_sim, fast = _run_single(
+        "past-future",
+        {"reserved_fraction": 0.05, "seed": 11, "num_samples": 2},
+        build(),
+        chunked=chunked,
+        fast_path=True,
+        clients=48,
+    )
+    ref_sim, reference = _run_single(
+        "past-future",
+        {"reserved_fraction": 0.05, "seed": 11, "num_samples": 2},
+        build(),
+        chunked=chunked,
+        fast_path=False,
+        clients=48,
+    )
+    assert run_snapshot(fast) == run_snapshot(reference)
+    # The RNG bookkeeping ends at the same position even though the fast run
+    # consulted the scheduler far fewer times.
+    assert fast_sim.engine.scheduler._sample_counter == ref_sim.engine.scheduler._sample_counter
+
+
+def test_saturated_jump_actually_fires_and_respects_bisect_flag():
+    """The macro-step fires under saturation, and fast_path=False disables it."""
+    workload = SATURATED_WORKLOADS["sharegpt"]()
+    simulator = ServingSimulator(
+        PLATFORM,
+        create_scheduler("past-future", seed=1, num_samples=2),
+        token_capacity_override=CAPACITY,
+        fast_path=True,
+    )
+    fused = []
+    original = simulator.engine.try_jump_saturated
+
+    def spy(*args, **kwargs):
+        result = original(*args, **kwargs)
+        if result is not None:
+            fused.append(result.steps)
+        return result
+
+    simulator.engine.try_jump_saturated = spy
+    simulator.run_closed_loop(workload, num_clients=48)
+    assert fused, "no saturated macro-step was taken under deep saturation"
+    assert max(fused) >= 2
+
+    bisect = ServingSimulator(
+        PLATFORM,
+        create_scheduler("past-future", seed=1, num_samples=2),
+        token_capacity_override=CAPACITY,
+        fast_path=False,
+    )
+    bisect.engine.submit(_queued_request("q0", prompt=32))
+    assert bisect.engine.try_jump_saturated(0.0) is None
+
+
+@pytest.mark.parametrize("scheduler_name,kwargs", [
+    ("aggressive", {"watermark": 0.95}),
+    ("conservative", {}),
+    ("oracle", {}),
+])
+def test_saturated_baseline_schedulers_bit_identical(scheduler_name, kwargs):
+    workload = SATURATED_WORKLOADS["sharegpt"]()
+    _, fast = _run_single(
+        scheduler_name, kwargs, workload, chunked=None, fast_path=True, clients=48
+    )
+    _, reference = _run_single(
+        scheduler_name, kwargs, workload, chunked=None, fast_path=False, clients=48
+    )
+    assert run_snapshot(fast) == run_snapshot(reference)
+
+
+def test_saturated_cluster_bit_identical():
+    """Fleet saturation: per-replica saturated jumps stay fleet-bit-identical."""
+    workload = scale_workload(generate_sharegpt_workload(90, seed=13), 0.25)
+
+    def build(fast_path):
+        return ClusterSimulator(
+            platform=PLATFORM,
+            num_replicas=2,
+            router="memory-aware",
+            scheduler_name="past-future",
+            scheduler_kwargs={"reserved_fraction": 0.05, "seed": 11, "num_samples": 2},
+            token_capacity_override=CAPACITY,
+            fast_path=fast_path,
+        )
+
+    fast = build(True).run_closed_loop(workload, num_clients=24)
+    reference = build(False).run_closed_loop(workload, num_clients=24)
+    assert cluster_snapshot(fast) == cluster_snapshot(reference)

@@ -6,10 +6,12 @@ engine one decode iteration at a time; the event-jump fast path
 event-free iterations into vectorized macro-steps with bit-identical results.
 This module pins that claim under regression tracking:
 
-* five scenarios — single-engine goodput-vs-clients (the fig07 shape), a
+* six scenarios — single-engine goodput-vs-clients (the fig07 shape), a
   deeply *saturated* single engine (non-empty waiting queue, the regime the
   saturated-phase jump targets), cluster routing (fig10), autoscaling
-  (fig11), and a heterogeneous mixed-GPU fleet (the fig12 shape) — run at
+  (fig11), a heterogeneous mixed-GPU fleet (the fig12 shape), and the
+  multi-tenant fairness stack (the fig13 shape: VTC scheduling plus
+  overload throttling under a heavy-tail tenant population) — run at
   **full-scale** request lengths (the regime the ROADMAP's fleet experiments
   are bottlenecked on), each once with the fast path and once with the
   reference one-iteration loop (``fast_path=False``);
@@ -45,12 +47,18 @@ from repro.serving.autoscale import Autoscaler, create_autoscale_policy
 from repro.serving.cluster import ClusterSimulator
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.server import ServingSimulator
-from repro.workloads.arrivals import assign_bursty_arrivals, assign_diurnal_arrivals
+from repro.serving.throttle import OverloadThrottle
+from repro.workloads.arrivals import (
+    assign_bursty_arrivals,
+    assign_diurnal_arrivals,
+    assign_poisson_arrivals,
+)
 from repro.workloads.sharegpt import (
     generate_sharegpt_o1_workload,
     generate_sharegpt_workload,
 )
 from repro.workloads.spec import assign_sla_classes, scale_workload
+from repro.workloads.tenants import assign_tenants, generate_tenant_population
 
 
 def _repo_root() -> Path:
@@ -89,7 +97,7 @@ def run_snapshot(result: RunResult) -> dict:
     place to extend when results grow new fields.
     """
     requests = sorted(result.requests, key=lambda r: r.request_id)
-    return {
+    snapshot = {
         "duration": result.duration,
         "completed": result.completed,
         "stats": result.engine_stats,
@@ -110,6 +118,13 @@ def run_snapshot(result: RunResult) -> dict:
             for s in result.memory_timeline.samples
         ],
     }
+    # Throttle bookkeeping is appended only when present, so fingerprints of
+    # runs without a throttle — including every committed baseline — are
+    # unchanged by the fields' existence.
+    if result.rejected:
+        snapshot["rejected"] = [r.request_id for r in result.rejected]
+        snapshot["reject_reasons"] = dict(sorted(result.reject_reasons.items()))
+    return snapshot
 
 
 def cluster_snapshot(result: ClusterResult) -> dict:
@@ -358,6 +373,56 @@ def _fig11_scenario(fast_path: bool) -> tuple[float, str]:
     return elapsed, cluster_fingerprint(result)
 
 
+def _fig13_fairness_scenario(fast_path: bool) -> tuple[float, str]:
+    """Multi-tenant fairness stack under load (the Figure 13 shape).
+
+    Two single-engine runs over a heavy-tail tenant population (two abusive
+    users holding half the traffic over a Zipf tail):
+
+    * a deeply saturated closed-loop run under the VTC fair scheduler — the
+      regime where ``saturated_no_admit_horizon`` must prove whole no-admit
+      windows with reordered admission in play, and
+    * an open-loop run under the weighted variant with a per-user RPM
+      throttle in front of routing, exercising the reject path's fingerprint
+      fields.
+    """
+    platform = paper_platform("7b-a100")
+    population = generate_tenant_population(
+        32, num_apps=4, abusive_users=2, abusive_share=0.5
+    )
+    parts: list[str] = []
+    elapsed = 0.0
+
+    workload = assign_tenants(generate_sharegpt_o1_workload(250, seed=71), population, seed=13)
+    simulator = ServingSimulator(
+        platform,
+        create_scheduler("vtc", watermark=0.95),
+        token_capacity_override=platform.token_capacity // 2,
+        chunked_prefill_tokens=8192,
+        fast_path=fast_path,
+    )
+    start = time.perf_counter()
+    result = simulator.run_closed_loop(workload, num_clients=128)
+    elapsed += time.perf_counter() - start
+    parts.append(f"vtc-saturated:{run_fingerprint(result)}")
+
+    workload = assign_tenants(generate_sharegpt_workload(300, seed=73), population, seed=17)
+    workload = assign_poisson_arrivals(workload, request_rate=2.0, seed=19)
+    simulator = ServingSimulator(
+        platform,
+        create_scheduler("weighted-vtc", weights={"user-0000": 2.0}, watermark=0.95),
+        token_capacity_override=platform.token_capacity // 4,
+        chunked_prefill_tokens=8192,
+        fast_path=fast_path,
+        throttle=OverloadThrottle(user_rpm=12),
+    )
+    start = time.perf_counter()
+    result = simulator.run_open_loop(workload)
+    elapsed += time.perf_counter() - start
+    parts.append(f"weighted-throttled:{run_fingerprint(result)}")
+    return elapsed, _hash_parts(parts)
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="fig07_goodput_vs_clients",
@@ -383,6 +448,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="fig12_heterogeneous",
         description="mixed 2x A100 + 1x RTX-4090 fleet, memory-aware router, diurnal two-class trace",
         run=_fig12_heterogeneous_scenario,
+    ),
+    Scenario(
+        name="fig13_fairness",
+        description="heavy-tail tenants: saturated VTC engine + throttled weighted-VTC open loop",
+        run=_fig13_fairness_scenario,
     ),
 )
 
@@ -441,7 +511,7 @@ def measure_scenario(scenario: Scenario, repeats: int = 2) -> dict:
     }
 
 
-def run_benchmarks(names: list[str] | None = None) -> dict:
+def run_benchmarks(names: list[str] | None = None, repeats: int = 2) -> dict:
     """Measure every (or the named) scenario and return the report dict."""
     report: dict = {
         "schema": 1,
@@ -458,7 +528,7 @@ def run_benchmarks(names: list[str] | None = None) -> dict:
     for scenario in SCENARIOS:
         if names is not None and scenario.name not in names:
             continue
-        entry = measure_scenario(scenario)
+        entry = measure_scenario(scenario, repeats=repeats)
         seed_seconds = SEED_LOOP_SECONDS.get(scenario.name)
         if seed_seconds:
             entry["seed_loop_seconds"] = seed_seconds
@@ -480,8 +550,15 @@ def main() -> None:  # pragma: no cover - thin CLI
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=BENCH_PATH)
     parser.add_argument("--scenario", action="append", dest="scenarios", default=None)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timed runs per scenario per loop; the minimum is reported "
+        "(nightly CI uses a larger value to squeeze out scheduler noise)",
+    )
     args = parser.parse_args()
-    report = run_benchmarks(args.scenarios)
+    report = run_benchmarks(args.scenarios, repeats=args.repeats)
     path = write_report(report, args.output)
     for name, entry in report["scenarios"].items():
         print(

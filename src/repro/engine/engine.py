@@ -178,6 +178,7 @@ class InferenceEngine:
         if request.state is not RequestState.QUEUED:
             raise ValueError("only queued requests can be submitted")
         self.waiting.append(request)
+        self.scheduler.on_request_submitted(request)
 
     # ------------------------------------------------------------- admission
     def _scheduling_context(self, time: float) -> SchedulingContext:
@@ -199,16 +200,29 @@ class InferenceEngine:
         decisions = self.scheduler.schedule(self._scheduling_context(time))
         admitted: list[Request] = []
         for request in decisions:
-            if not self.waiting or self.waiting[0] is not request:
-                # Schedulers must admit a prefix of the queue; anything else is
-                # a policy bug we surface immediately.
-                raise RuntimeError(
-                    f"scheduler {self.scheduler.name!r} admitted {request.request_id} out of order"
-                )
             needed = request.current_context_tokens
             if not self.pool.can_allocate(needed):
                 break
-            self.waiting.popleft()
+            if self.waiting and self.waiting[0] is request:
+                # The common (FCFS prefix) case: exactly the operation the
+                # pre-fair-scheduler engine performed, so prefix-admitting
+                # policies replay bit-identically.
+                self.waiting.popleft()
+            else:
+                # Fair schedulers admit across the queue in counter order;
+                # remove by identity (Request equality is structural and two
+                # distinct requests can compare equal).
+                for position, queued in enumerate(self.waiting):
+                    if queued is request:
+                        del self.waiting[position]
+                        break
+                else:
+                    # A request the queue does not hold (or admitted twice) is
+                    # a policy bug we surface immediately.
+                    raise RuntimeError(
+                        f"scheduler {self.scheduler.name!r} admitted "
+                        f"{request.request_id}, which is not in the waiting queue"
+                    )
             self.pool.allocate(request.request_id, needed)
             request.admit(time)
             if request.eviction_count > 0:

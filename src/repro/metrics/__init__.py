@@ -1,5 +1,12 @@
-"""Metrics: latency, throughput/goodput, fleet aggregates, memory, similarity."""
+"""Metrics: latency, throughput/goodput, fairness, fleet aggregates, memory, similarity."""
 
+from repro.metrics.fairness import (
+    FairnessSummary,
+    TenantService,
+    jains_index,
+    max_min_service_ratio,
+    summarize_tenant_fairness,
+)
 from repro.metrics.fleet import (
     FleetSizeSample,
     FleetSummary,
@@ -36,6 +43,11 @@ from repro.metrics.similarity import (
 )
 
 __all__ = [
+    "FairnessSummary",
+    "TenantService",
+    "jains_index",
+    "max_min_service_ratio",
+    "summarize_tenant_fairness",
     "FleetSizeSample",
     "FleetSummary",
     "ReplicaLifetime",

@@ -14,7 +14,12 @@ planner actually compares across routing policies:
   elastic deployment optimises: an autoscaled fleet (see
   :mod:`repro.serving.autoscale`) pays only for the replica-seconds it
   actually provisioned, so SLA-compliant tokens *per replica-second* is the
-  number that compares a burst-chasing fleet against a peak-provisioned one.
+  number that compares a burst-chasing fleet against a peak-provisioned one,
+  and
+* **fairness slices** — when requests carry tenant identities (see
+  :mod:`repro.workloads.tenants`), per-user and per-application
+  :class:`~repro.metrics.fairness.FairnessSummary` instances report Jain's
+  index, max/min service ratio, and per-tenant goodput.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from repro.engine.request import Request
+from repro.metrics.fairness import FairnessSummary, summarize_tenant_fairness
 from repro.metrics.goodput import summarize_throughput, summarize_throughput_by_class
 from repro.metrics.latency import finished_requests, mean_tpots, percentile, ttfts
 
@@ -135,6 +141,11 @@ class FleetSummary:
     #: per-SLA-class slices, keyed by class name; a single-class run gets one
     #: entry (the default ``interactive`` class).
     per_class: Mapping[str, ClassSummary] = dataclass_field(default_factory=dict)
+    #: per-user fairness slice (:mod:`repro.metrics.fairness`); ``None`` when
+    #: no request carried a user identity.
+    user_fairness: FairnessSummary | None = None
+    #: per-application fairness slice; ``None`` when no request carried one.
+    app_fairness: FairnessSummary | None = None
 
     def as_row(self) -> dict[str, object]:
         """Dictionary row for table rendering."""
@@ -235,6 +246,12 @@ def summarize_fleet(
                 else 0.0
             ),
         )
+    user_fairness = summarize_tenant_fairness(
+        all_requests, duration, sla, rejected=rejected_requests, group_by="user"
+    )
+    app_fairness = summarize_tenant_fairness(
+        all_requests, duration, sla, rejected=rejected_requests, group_by="app"
+    )
     return FleetSummary(
         num_replicas=len(per_replica_requests),
         duration=duration,
@@ -258,4 +275,6 @@ def summarize_fleet(
             replica_seconds / duration if duration > 0 else float(len(per_replica_requests))
         ),
         per_class=per_class,
+        user_fairness=user_fairness if user_fairness.num_tenants else None,
+        app_fairness=app_fairness if app_fairness.num_tenants else None,
     )

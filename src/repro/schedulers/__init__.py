@@ -9,6 +9,11 @@ circular import with :mod:`repro.core`.
 from repro.schedulers.aggressive import AggressiveScheduler
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.fair import (
+    ANONYMOUS_TENANT,
+    VirtualTokenCounterScheduler,
+    WeightedServiceCounterScheduler,
+)
 from repro.schedulers.oracle import OracleScheduler
 from repro.schedulers.registry import (
     SCHEDULER_REGISTRY,
@@ -23,6 +28,9 @@ __all__ = [
     "SchedulingContext",
     "ConservativeScheduler",
     "OracleScheduler",
+    "ANONYMOUS_TENANT",
+    "VirtualTokenCounterScheduler",
+    "WeightedServiceCounterScheduler",
     "SCHEDULER_REGISTRY",
     "available_schedulers",
     "create_scheduler",

@@ -3,12 +3,15 @@
 Every scheduler answers one question per continuous-batching iteration: *which
 waiting requests should join the running batch right now?*  The engine hands
 it a :class:`SchedulingContext` snapshot and expects back an ordered list of
-requests to admit (always a prefix-respecting subset of the waiting queue —
-schedulers here are FCFS over admission order, they only decide *when*, not
-*who first*, matching the paper).
+requests to admit.  The paper's schedulers are FCFS over admission order (they
+admit a prefix of the queue, deciding only *when*, not *who first*); fair
+schedulers (:mod:`repro.schedulers.fair`) additionally reorder admission
+across tenants, which the engine supports — admitted requests may be any
+subset of the waiting queue, in any order.
 
 Schedulers also receive lifecycle callbacks so that history-based policies
-(the Past-Future scheduler) can observe finished output lengths.
+(the Past-Future scheduler) can observe finished output lengths and
+service-accounting policies can observe arrivals and completions.
 """
 
 from __future__ import annotations
@@ -63,7 +66,10 @@ class Scheduler(abc.ABC):
         """Return the waiting requests to admit this iteration, in order.
 
         Implementations must return requests drawn from ``context.waiting``
-        preserving their relative order, and must not mutate the context.
+        (each at most once) and must not mutate the context.  FCFS policies
+        return a prefix of the queue; fair policies may return requests in a
+        policy-chosen order — the engine admits them exactly in the returned
+        order, stopping at the first one whose KV footprint does not fit.
         """
 
     # -------------------------------------------------- saturated-phase jumps
@@ -126,6 +132,15 @@ class Scheduler(abc.ABC):
         )
 
     # ------------------------------------------------------------- lifecycle
+    def on_request_submitted(self, request: Request) -> None:
+        """Called by the engine when a new request enters the waiting queue.
+
+        Fires once per request, at :meth:`InferenceEngine.submit` time — not
+        on eviction re-queuing.  Service-accounting policies (the fair
+        schedulers) use this to observe tenant arrivals; stateless policies
+        need not override it.
+        """
+
     def on_request_finished(self, request: Request, time: float) -> None:
         """Called by the engine when a request completes generation."""
 

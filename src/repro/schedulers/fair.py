@@ -1,0 +1,272 @@
+"""Fair admission across tenants: Virtual Token Counter scheduling.
+
+The paper's schedulers decide *when* to admit but keep FCFS order, so a
+heavy-tail tenant (see :mod:`repro.workloads.tenants`) that floods the queue
+monopolises every admission slot.  The Virtual Token Counter (VTC) discipline
+from the LLM fair-serving literature fixes the *who first* half:
+
+* every tenant (a request's ``user_id``; tenant-less requests share one
+  anonymous tenant) carries a **virtual counter** of the service it has
+  received;
+* admission considers waiting requests in order of **lowest tenant counter**
+  (FIFO among a tenant's own requests), under the same current-occupancy
+  watermark test as the :class:`~repro.schedulers.aggressive.AggressiveScheduler`;
+* on completion a request **charges** its tenant the actual service it
+  consumed — ``prefill_weight * prompt_tokens + decode_weight *
+  generated_tokens``;
+* a tenant that arrives (or returns) after sitting idle is **lifted** to the
+  minimum counter among currently active tenants, so accumulated "credit"
+  from a quiet period cannot be spent monopolising the batch later.
+
+The weighted variant (:class:`WeightedServiceCounterScheduler`) divides each
+charge by a per-tenant weight, so a weight-2 tenant accrues debt half as fast
+and receives roughly twice the service share — the knob for paid tiers.
+
+With no tenants configured every request maps to the shared anonymous
+tenant, ordering degenerates to FIFO, and the policy is behaviourally
+identical to the aggressive watermark baseline — existing untenanted
+experiments are not perturbed.
+
+Both schedulers are deterministic (no RNG), so the saturated-phase event
+jump only needs the watermark argument: during a uniform-decode window the
+counters are frozen (no arrivals, no completions), the queue is frozen, and
+occupancy only grows — one comparison against the lowest-counter candidate
+proves a whole no-admit window (see
+:meth:`~repro.schedulers.base.Scheduler.saturated_no_admit_horizon`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+from repro.engine.request import Request
+from repro.schedulers.base import Scheduler, SchedulingContext
+
+#: Counter key shared by every request without a ``user_id``; with no tenants
+#: configured all traffic lands here and VTC degenerates to FIFO admission.
+ANONYMOUS_TENANT = "anonymous"
+
+
+class VirtualTokenCounterScheduler(Scheduler):
+    """Admit the lowest-virtual-counter tenant first, under a watermark.
+
+    Args:
+        watermark: fraction of the KV capacity the scheduler is willing to
+            fill with *current* tokens at admission time (the same knob as
+            the aggressive baseline, so FCFS-vs-VTC comparisons isolate the
+            admission *order*).
+        prefill_weight: cost per prompt token charged on completion.
+        decode_weight: cost per generated token charged on completion.
+        max_running_requests: optional hard cap on the running batch size.
+    """
+
+    name = "vtc"
+
+    def __init__(
+        self,
+        watermark: float = 0.95,
+        prefill_weight: float = 1.0,
+        decode_weight: float = 1.0,
+        max_running_requests: int | None = None,
+    ) -> None:
+        if not 0.0 < watermark <= 1.0:
+            raise ValueError("watermark must be in (0, 1]")
+        if prefill_weight < 0 or decode_weight < 0:
+            raise ValueError("service weights must be non-negative")
+        if prefill_weight == 0 and decode_weight == 0:
+            raise ValueError("at least one service weight must be positive")
+        self.watermark = watermark
+        self.prefill_weight = prefill_weight
+        self.decode_weight = decode_weight
+        self.max_running_requests = max_running_requests
+        #: accumulated (weighted) service per tenant.
+        self._counters: dict[str, float] = {}
+        #: requests currently inside the engine (waiting or running) per
+        #: tenant; a tenant with zero entries is *inactive* and gets lifted
+        #: on its next arrival.
+        self._active: dict[str, int] = {}
+
+    # ------------------------------------------------------------- accounting
+    def _tenant(self, request: Request) -> str:
+        return request.spec.user_id or ANONYMOUS_TENANT
+
+    def _weight(self, tenant: str) -> float:
+        """Service weight of one tenant (charges divide by it)."""
+        return 1.0
+
+    def _service_tokens(self, request: Request) -> float:
+        """Actual service a request consumed: weighted prefill + decode tokens."""
+        return (
+            self.prefill_weight * request.prompt_tokens
+            + self.decode_weight * request.generated_tokens
+        )
+
+    def counter(self, tenant: str) -> float:
+        """Current virtual counter of one tenant (0 if never charged)."""
+        return self._counters.get(tenant, 0.0)
+
+    def on_run_start(self) -> None:
+        self._counters = {}
+        self._active = {}
+
+    def on_request_submitted(self, request: Request) -> None:
+        """Lift a lagged tenant to the active minimum, then mark it active.
+
+        The lift happens *on arrival* (not at the next consult), so it is a
+        well-defined event in both the reference loop and the event-jump
+        fast path — arrivals always end fusion windows.
+        """
+        tenant = self._tenant(request)
+        if not self._active.get(tenant):
+            floor = min(
+                (self._counters.get(t, 0.0) for t, n in self._active.items() if n > 0),
+                default=None,
+            )
+            if floor is not None and floor > self._counters.get(tenant, 0.0):
+                self._counters[tenant] = floor
+        self._active[tenant] = self._active.get(tenant, 0) + 1
+
+    def on_request_finished(self, request: Request, time: float) -> None:
+        """Charge the tenant the service actually consumed; retire if idle."""
+        tenant = self._tenant(request)
+        self._counters[tenant] = (
+            self._counters.get(tenant, 0.0)
+            + self._service_tokens(request) / self._weight(tenant)
+        )
+        remaining = self._active.get(tenant, 0) - 1
+        if remaining > 0:
+            self._active[tenant] = remaining
+        else:
+            self._active.pop(tenant, None)
+
+    # -------------------------------------------------------------- admission
+    def schedule(self, context: SchedulingContext) -> list[Request]:
+        if not context.waiting:
+            return []
+        waiting = context.waiting
+        budget = int(context.token_capacity * self.watermark)
+        occupied = context.running_context_tokens
+        # Lowest committed counter first, FIFO within a tenant.  While
+        # selecting, each pick *provisionally* charges its tenant (local to
+        # this consult — real counters only move on completion), so one
+        # zero-debt tenant with many queued requests cannot fill the whole
+        # batch in a single consult; admission rotates across tenants.
+        # Stale heap entries are lazily reinserted at the provisional value.
+        provisional: dict[str, float] = {}
+        heap = [
+            (self._counters.get(self._tenant(candidate), 0.0), index)
+            for index, candidate in enumerate(waiting)
+        ]
+        heapq.heapify(heap)
+        admitted: list[Request] = []
+        first_choice: Request | None = None
+        while heap:
+            pushed_counter, index = heapq.heappop(heap)
+            candidate = waiting[index]
+            tenant = self._tenant(candidate)
+            current = provisional.get(tenant, self._counters.get(tenant, 0.0))
+            if pushed_counter < current:
+                heapq.heappush(heap, (current, index))
+                continue
+            if first_choice is None:
+                first_choice = candidate
+            cost = candidate.current_context_tokens
+            if occupied + cost > budget:
+                break
+            admitted.append(candidate)
+            occupied += cost
+            provisional[tenant] = current + self._service_tokens(candidate) / self._weight(tenant)
+        if not admitted and not context.running and first_choice is not None:
+            # Bootstrap: an empty batch must make progress even when the
+            # fairest candidate alone exceeds the watermark (same clause as
+            # the aggressive baseline, applied to the VTC-ordered head).
+            if first_choice.current_context_tokens + 1 <= context.token_capacity:
+                admitted.append(first_choice)
+        return self._respect_batch_cap(context, admitted)
+
+    def _first_candidate(self, waiting: list[Request]) -> Request:
+        """The request :meth:`schedule` would consider first (lowest counter)."""
+        counters = self._counters
+        best = min(
+            range(len(waiting)),
+            key=lambda index: (
+                counters.get(self._tenant(waiting[index]), 0.0),
+                index,
+            ),
+        )
+        return waiting[best]
+
+    def saturated_no_admit_horizon(self, context: SchedulingContext, max_steps: int) -> int:
+        """Prove no-admit for a whole uniform-decode window at once.
+
+        Within the window no request arrives or finishes, so the virtual
+        counters — and therefore the selection order — are frozen, the queue
+        is unchanged, and occupancy only grows.  :meth:`schedule` stops at
+        the first candidate that fails the watermark test, so if the
+        lowest-counter candidate does not fit now, no iteration of the
+        window admits anything: one comparison proves the whole horizon.
+        Deterministic policy (no RNG), so nothing needs advancing in
+        :meth:`on_saturated_steps_fused`.
+        """
+        if max_steps <= 0 or not context.waiting or not context.running:
+            return 0
+        if self._batch_cap_blocks_window(context):
+            return max_steps
+        budget = int(context.token_capacity * self.watermark)
+        occupied = context.running_context_tokens
+        head_cost = self._first_candidate(context.waiting).current_context_tokens
+        return max_steps if occupied + head_cost > budget else 0
+
+    def describe(self) -> str:
+        return f"vtc (watermark={self.watermark:.0%})"
+
+
+class WeightedServiceCounterScheduler(VirtualTokenCounterScheduler):
+    """VTC with per-tenant service weights (paid tiers, internal priority).
+
+    A tenant's completion charge is divided by its weight, so a weight-``w``
+    tenant accrues virtual debt ``w`` times slower and receives roughly a
+    ``w``-proportional share of contended admission slots.  Tenants not in
+    the mapping use ``default_weight``.
+
+    Args:
+        weights: per-tenant (``user_id``) service weight; must be positive.
+        default_weight: weight of tenants not in ``weights``.
+        watermark / prefill_weight / decode_weight / max_running_requests:
+            as for :class:`VirtualTokenCounterScheduler`.
+    """
+
+    name = "weighted-vtc"
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+        watermark: float = 0.95,
+        prefill_weight: float = 1.0,
+        decode_weight: float = 1.0,
+        max_running_requests: int | None = None,
+    ) -> None:
+        super().__init__(
+            watermark=watermark,
+            prefill_weight=prefill_weight,
+            decode_weight=decode_weight,
+            max_running_requests=max_running_requests,
+        )
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        self.weights = dict(weights or {})
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for tenant {tenant!r} must be positive")
+        self.default_weight = default_weight
+
+    def _weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def describe(self) -> str:
+        return (
+            f"weighted-vtc (watermark={self.watermark:.0%}, "
+            f"{len(self.weights)} weighted tenants, default={self.default_weight:g})"
+        )

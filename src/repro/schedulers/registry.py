@@ -13,6 +13,10 @@ from repro.registry import instantiate
 from repro.schedulers.aggressive import AggressiveScheduler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.conservative import ConservativeScheduler
+from repro.schedulers.fair import (
+    VirtualTokenCounterScheduler,
+    WeightedServiceCounterScheduler,
+)
 from repro.schedulers.oracle import OracleScheduler
 
 SchedulerFactory = Callable[..., Scheduler]
@@ -29,6 +33,8 @@ SCHEDULER_REGISTRY: dict[str, SchedulerFactory] = {
     "aggressive": AggressiveScheduler,
     "conservative": ConservativeScheduler,
     "oracle": OracleScheduler,
+    "vtc": VirtualTokenCounterScheduler,
+    "weighted-vtc": WeightedServiceCounterScheduler,
 }
 
 
@@ -37,7 +43,7 @@ def create_scheduler(name: str, **kwargs) -> Scheduler:
 
     Args:
         name: one of ``past-future``, ``aggressive``, ``conservative``,
-            ``oracle``.
+            ``oracle``, ``vtc``, ``weighted-vtc``.
         **kwargs: forwarded to the scheduler constructor (e.g.
             ``reserved_fraction`` or ``watermark``).
 

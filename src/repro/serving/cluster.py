@@ -78,6 +78,7 @@ from repro.serving.routing import (
     create_router,
 )
 from repro.serving.server import LoadGenerator, SimulationLimits
+from repro.serving.throttle import OverloadThrottle
 from repro.workloads.spec import RequestSpec, Workload
 
 
@@ -239,6 +240,7 @@ class ClusterSimulator:
         autoscaler: Autoscaler | None = None,
         limits: SimulationLimits | None = None,
         fast_path: bool = True,
+        throttle: OverloadThrottle | None = None,
     ) -> None:
         if (platform is None) == (platforms is None):
             raise ValueError("exactly one of platform / platforms is required")
@@ -273,6 +275,7 @@ class ClusterSimulator:
         # PR 1) rather than mutating a caller-supplied — possibly shared —
         # router instance.
         self._force_reject_when_saturated = reject_when_saturated
+        self.throttle = throttle
         self.autoscaler = autoscaler
         self.limits = limits or SimulationLimits()
         self.fast_path = fast_path
@@ -306,6 +309,7 @@ class ClusterSimulator:
         self._deferred_heap: list[_DeferredArrival] = []
         self._defer_sequence = 0
         self._deferred_releases = 0
+        self._throttle_releases = 0
         self._consumed = False
 
     # ------------------------------------------------------------------ state
@@ -507,6 +511,23 @@ class ClusterSimulator:
         """
         if arrived_at is None:
             arrived_at = spec.arrival_time if spec.arrival_time is not None else now
+        if first_attempt and self.throttle is not None:
+            # Rate limiting sits in front of routing: a throttled arrival
+            # consumes no routing decision and no autoscaler traffic signal.
+            # Defer retries skip the check — the request was admitted (and
+            # recorded in its tenant's window) on first attempt.
+            reason = self.throttle.check(spec, now)
+            if reason is not None:
+                self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
+                self.reject_reasons[reason] += 1
+                # Unlike saturation rejects, throttle rejects can release the
+                # client slot at this same instant without a zero-time
+                # cascade risk: the rate window only fills as requests are
+                # admitted, so a same-instant follow-up either fits the
+                # window or is itself throttled — and the workload is finite.
+                # Drained by the caller (the arrival loop owns the generator).
+                self._throttle_releases += 1
+                return
         routable = {replica.index: replica for replica in self.active_replicas}
         views = [replica.snapshot() for replica in routable.values()]
         if first_attempt and self.autoscaler is not None and views:
@@ -587,6 +608,8 @@ class ClusterSimulator:
         self._consumed = True
         generator.start(0.0)
         self.router.on_run_start()
+        if self.throttle is not None:
+            self.throttle.on_run_start()
         if self.autoscaler is not None:
             self.autoscaler.on_run_start()
         completed = True
@@ -633,6 +656,9 @@ class ClusterSimulator:
             if kind == ARRIVAL:
                 for spec in generator.pop_arrivals(time):
                     self._route_arrival(spec, time)
+                while self._throttle_releases:
+                    self._throttle_releases -= 1
+                    generator.on_request_finished(time)
                 continue
             if kind == RETRY:
                 while self._deferred_heap and self._deferred_heap[0].retry_at <= time:

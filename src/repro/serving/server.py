@@ -27,6 +27,7 @@ from repro.hardware.platform import Platform
 from repro.schedulers.base import Scheduler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
 from repro.serving.results import RunResult
+from repro.serving.throttle import OverloadThrottle
 from repro.workloads.spec import Workload
 
 
@@ -87,10 +88,12 @@ class ServingSimulator:
         token_capacity_override: int | None = None,
         limits: SimulationLimits | None = None,
         fast_path: bool = True,
+        throttle: OverloadThrottle | None = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
         self.fast_path = fast_path
+        self.throttle = throttle
         self.engine = InferenceEngine(
             platform=platform,
             scheduler=scheduler,
@@ -108,14 +111,30 @@ class ServingSimulator:
         engine = self.engine
         time = 0.0
         generator.start(time)
+        if self.throttle is not None:
+            self.throttle.on_run_start()
         all_requests: list[Request] = []
+        rejected: list[Request] = []
+        reject_reasons: dict[str, int] = {}
         completed = True
 
         step = 0
         idle_streak = 0
         while True:
             for spec in generator.pop_arrivals(time):
-                request = Request(spec=spec, arrival_time=spec.arrival_time if spec.arrival_time is not None else time)
+                arrival = spec.arrival_time if spec.arrival_time is not None else time
+                if self.throttle is not None:
+                    reason = self.throttle.check(spec, time)
+                    if reason is not None:
+                        # Turned away before touching the engine.  The client
+                        # slot is released immediately — a closed-loop client
+                        # whose request is throttled issues its next one after
+                        # its think time, exactly like a completion would.
+                        rejected.append(Request(spec=spec, arrival_time=arrival))
+                        reject_reasons[reason] = reject_reasons.get(reason, 0) + 1
+                        generator.on_request_finished(time)
+                        continue
+                request = Request(spec=spec, arrival_time=arrival)
                 all_requests.append(request)
                 engine.submit(request)
 
@@ -185,6 +204,8 @@ class ServingSimulator:
             memory_timeline=engine.memory_timeline,
             token_capacity=engine.token_capacity,
             completed=completed,
+            rejected=rejected,
+            reject_reasons=reject_reasons,
         )
 
     def run_closed_loop(

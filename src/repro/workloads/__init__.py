@@ -38,6 +38,12 @@ from repro.workloads.spec import (
     interleave,
     scale_workload,
 )
+from repro.workloads.tenants import (
+    TenantPopulation,
+    TenantProfile,
+    assign_tenants,
+    generate_tenant_population,
+)
 
 __all__ = [
     "assign_bursty_arrivals",
@@ -69,4 +75,8 @@ __all__ = [
     "concatenate",
     "interleave",
     "scale_workload",
+    "TenantPopulation",
+    "TenantProfile",
+    "assign_tenants",
+    "generate_tenant_population",
 ]

@@ -48,6 +48,16 @@ class RequestSpec:
             Routers may place, shed, or defer by class, and
             :class:`~repro.serving.sla.SLASpec` may bind per-class latency
             bounds; fleet metrics report goodput per class.
+        user_id: the end user the request belongs to, or ``None`` for
+            tenant-less traffic.  Fair schedulers
+            (:mod:`repro.schedulers.fair`) account service per user, the
+            overload throttle (:mod:`repro.serving.throttle`) rate-limits per
+            user, and fairness metrics (:mod:`repro.metrics.fairness`) slice
+            per user.  Stamp populations with
+            :func:`repro.workloads.tenants.assign_tenants`.
+        app_id: the application the request arrived through (one app serves
+            many users; one user may use several apps), or ``None``.
+            Throttling and fairness metrics can also slice per app.
     """
 
     request_id: str
@@ -57,6 +67,8 @@ class RequestSpec:
     arrival_time: float | None = None
     image_tokens: int = 0
     sla_class: str = SLA_CLASS_INTERACTIVE
+    user_id: str | None = None
+    app_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.input_length < 0:
@@ -74,6 +86,10 @@ class RequestSpec:
             raise ValueError("image_tokens must be non-negative")
         if not self.sla_class:
             raise ValueError("sla_class must be a non-empty string")
+        if self.user_id is not None and not self.user_id:
+            raise ValueError("user_id must be None or a non-empty string")
+        if self.app_id is not None and not self.app_id:
+            raise ValueError("app_id must be None or a non-empty string")
 
     @property
     def prompt_tokens(self) -> int:
@@ -97,6 +113,10 @@ class RequestSpec:
     def with_sla_class(self, sla_class: str) -> "RequestSpec":
         """Copy of this spec stamped with a service class."""
         return replace(self, sla_class=sla_class)
+
+    def with_tenant(self, user_id: str | None, app_id: str | None = None) -> "RequestSpec":
+        """Copy of this spec stamped with tenant identities."""
+        return replace(self, user_id=user_id, app_id=app_id)
 
 
 @dataclass
@@ -163,6 +183,21 @@ class Workload:
         for name in self.sla_classes:
             counts[name] = sum(1 for r in self.requests if r.sla_class == name)
         return counts
+
+    @property
+    def user_ids(self) -> list[str]:
+        """Distinct user identities present, sorted (tenant-less specs excluded)."""
+        return sorted({r.user_id for r in self.requests if r.user_id is not None})
+
+    @property
+    def app_ids(self) -> list[str]:
+        """Distinct application identities present, sorted."""
+        return sorted({r.app_id for r in self.requests if r.app_id is not None})
+
+    @property
+    def has_tenants(self) -> bool:
+        """Whether any request carries a user or application identity."""
+        return any(r.user_id is not None or r.app_id is not None for r in self.requests)
 
     def head(self, count: int) -> "Workload":
         """A workload containing the first ``count`` requests."""

@@ -16,7 +16,14 @@ from tests.conftest import make_spec
 
 class TestRegistry:
     def test_all_expected_names_present(self):
-        assert available_schedulers() == ["aggressive", "conservative", "oracle", "past-future"]
+        assert available_schedulers() == [
+            "aggressive",
+            "conservative",
+            "oracle",
+            "past-future",
+            "vtc",
+            "weighted-vtc",
+        ]
 
     def test_create_past_future(self):
         scheduler = create_scheduler("past-future", reserved_fraction=0.1)

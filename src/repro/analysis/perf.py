@@ -41,7 +41,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.engine.engine import JumpStats
 from repro.hardware.platform import Platform, paper_platform, paper_platforms
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler, create_autoscale_policy
 from repro.serving.cluster import ClusterSimulator
@@ -167,16 +169,23 @@ class Scenario:
     """One timed workload.
 
     ``run`` executes the scenario under the given loop and returns
-    ``(simulation_seconds, fingerprint)`` — only the simulation itself is
-    timed; workload generation and fingerprint hashing are excluded.
+    ``(simulation_seconds, fingerprint, jump_summary)`` — only the
+    simulation itself is timed; workload generation and fingerprint hashing
+    are excluded.  ``jump_summary`` is the merged
+    :meth:`~repro.engine.engine.JumpStats.summary` across the scenario's
+    runs (the engine's own profile of how much work the event jumps fused).
+    An optional ``tracer`` keyword attaches an observer to every simulator
+    the scenario builds (see :mod:`repro.obs`); fingerprints are tracer-
+    independent, so traced runs remain valid measurements of *results* —
+    only the timings become untrustworthy.
     """
 
     name: str
     description: str
-    run: Callable[[bool], tuple[float, str]] = field(repr=False)
+    run: Callable[..., tuple[float, str, dict]] = field(repr=False)
 
 
-def _fig07_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig07_scenario(fast_path: bool, tracer: Tracer | None = None) -> tuple[float, str, dict]:
     """Single-engine goodput-vs-clients sweep (the Figure 7 shape).
 
     Full-scale ShareGPT-o1 lengths on Llama-2-7B/A100 under the Past-Future
@@ -187,6 +196,7 @@ def _fig07_scenario(fast_path: bool) -> tuple[float, str]:
     platform = paper_platform("7b-a100")
     parts: list[str] = []
     elapsed = 0.0
+    jump = JumpStats()
     for num_clients in (8, 32, 64, 128):
         workload = generate_sharegpt_o1_workload(250, seed=71)
         simulator = ServingSimulator(
@@ -195,15 +205,19 @@ def _fig07_scenario(fast_path: bool) -> tuple[float, str]:
             token_capacity_override=platform.token_capacity,
             chunked_prefill_tokens=8192,
             fast_path=fast_path,
+            tracer=tracer,
         )
         start = time.perf_counter()
         result = simulator.run_closed_loop(workload, num_clients=num_clients)
         elapsed += time.perf_counter() - start
+        jump.merge(result.jump_stats)
         parts.append(f"clients={num_clients}:{run_fingerprint(result)}")
-    return elapsed, _hash_parts(parts)
+    return elapsed, _hash_parts(parts), jump.summary()
 
 
-def _fig07_saturated_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig07_saturated_scenario(
+    fast_path: bool, tracer: Tracer | None = None
+) -> tuple[float, str, dict]:
     """Deep saturation: the regime the saturated-phase event jump targets.
 
     256 closed-loop clients against *half* the 7B pool keep the waiting queue
@@ -219,11 +233,12 @@ def _fig07_saturated_scenario(fast_path: bool) -> tuple[float, str]:
         token_capacity_override=platform.token_capacity // 2,
         chunked_prefill_tokens=8192,
         fast_path=fast_path,
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_closed_loop(workload, num_clients=256)
     elapsed = time.perf_counter() - start
-    return elapsed, run_fingerprint(result)
+    return elapsed, run_fingerprint(result), result.jump_stats.summary()
 
 
 def _make_cluster(
@@ -237,6 +252,7 @@ def _make_cluster(
     capacity_scale: float | None = None,
     chunked_prefill_tokens: int | None = 8192,
     autoscaler: Autoscaler | None = None,
+    tracer: Tracer | None = None,
 ) -> ClusterSimulator:
     """Cluster factory shared by the fleet scenarios.
 
@@ -257,6 +273,7 @@ def _make_cluster(
         chunked_prefill_tokens=chunked_prefill_tokens,
         autoscaler=autoscaler,
         fast_path=fast_path,
+        tracer=tracer,
     )
 
 
@@ -272,7 +289,7 @@ def _fig10_workload():
     )
 
 
-def _fig10_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig10_scenario(fast_path: bool, tracer: Tracer | None = None) -> tuple[float, str, dict]:
     """Cluster routing under bursty traffic (the Figure 10 shape).
 
     Four replicas with an eighth of the 7B pool each behind the memory-aware
@@ -287,14 +304,17 @@ def _fig10_scenario(fast_path: bool) -> tuple[float, str]:
         num_replicas=4,
         router="memory-aware",
         token_capacity_override=platform.token_capacity // 8,
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
     elapsed = time.perf_counter() - start
-    return elapsed, cluster_fingerprint(result)
+    return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
 
 
-def _fig12_heterogeneous_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig12_heterogeneous_scenario(
+    fast_path: bool, tracer: Tracer | None = None
+) -> tuple[float, str, dict]:
     """Mixed-GPU fleet under diurnal two-class traffic (the Figure 12 shape).
 
     Two A100 replicas plus one RTX-4090 replica (per-replica capacities scaled
@@ -326,14 +346,15 @@ def _fig12_heterogeneous_scenario(fast_path: bool) -> tuple[float, str]:
         router="memory-aware",
         capacity_scale=1.0 / 8.0,
         chunked_prefill_tokens=4096,
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
     elapsed = time.perf_counter() - start
-    return elapsed, cluster_fingerprint(result)
+    return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
 
 
-def _fig11_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig11_scenario(fast_path: bool, tracer: Tracer | None = None) -> tuple[float, str, dict]:
     """Autoscaled fleet under bursty traffic (the Figure 11 shape).
 
     An elastic fleet (1–6 replicas, predictive policy, warm-up delay) serving
@@ -366,14 +387,17 @@ def _fig11_scenario(fast_path: bool) -> tuple[float, str]:
         router="least-outstanding",
         token_capacity_override=platform.token_capacity // 8,
         autoscaler=autoscaler,
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
     elapsed = time.perf_counter() - start
-    return elapsed, cluster_fingerprint(result)
+    return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
 
 
-def _fig13_fairness_scenario(fast_path: bool) -> tuple[float, str]:
+def _fig13_fairness_scenario(
+    fast_path: bool, tracer: Tracer | None = None
+) -> tuple[float, str, dict]:
     """Multi-tenant fairness stack under load (the Figure 13 shape).
 
     Two single-engine runs over a heavy-tail tenant population (two abusive
@@ -392,6 +416,7 @@ def _fig13_fairness_scenario(fast_path: bool) -> tuple[float, str]:
     )
     parts: list[str] = []
     elapsed = 0.0
+    jump = JumpStats()
 
     workload = assign_tenants(generate_sharegpt_o1_workload(250, seed=71), population, seed=13)
     simulator = ServingSimulator(
@@ -400,10 +425,12 @@ def _fig13_fairness_scenario(fast_path: bool) -> tuple[float, str]:
         token_capacity_override=platform.token_capacity // 2,
         chunked_prefill_tokens=8192,
         fast_path=fast_path,
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_closed_loop(workload, num_clients=128)
     elapsed += time.perf_counter() - start
+    jump.merge(result.jump_stats)
     parts.append(f"vtc-saturated:{run_fingerprint(result)}")
 
     workload = assign_tenants(generate_sharegpt_workload(300, seed=73), population, seed=17)
@@ -415,12 +442,14 @@ def _fig13_fairness_scenario(fast_path: bool) -> tuple[float, str]:
         chunked_prefill_tokens=8192,
         fast_path=fast_path,
         throttle=OverloadThrottle(user_rpm=12),
+        tracer=tracer,
     )
     start = time.perf_counter()
     result = simulator.run_open_loop(workload)
     elapsed += time.perf_counter() - start
+    jump.merge(result.jump_stats)
     parts.append(f"weighted-throttled:{run_fingerprint(result)}")
-    return elapsed, _hash_parts(parts)
+    return elapsed, _hash_parts(parts), jump.summary()
 
 
 SCENARIOS: tuple[Scenario, ...] = (
@@ -462,23 +491,25 @@ class FastPathDivergenceError(AssertionError):
     """The fast path produced different metrics than the reference loop."""
 
 
-def _timed_runs(scenario: Scenario, fast_path: bool, repeats: int) -> tuple[float, str]:
+def _timed_runs(scenario: Scenario, fast_path: bool, repeats: int) -> tuple[float, str, dict]:
     """Best-of-``repeats`` wall-clock (the noise-robust estimator) + digest.
 
     Garbage collection is paused around each run so collection pauses land
     between measurements, not inside them; every repeat must produce the
-    same digest (simulations are deterministic).
+    same digest (simulations are deterministic).  The jump summary of the
+    last repeat is returned (identical across repeats, like the digest).
     """
     import gc
 
     best = None
     digest = None
+    jump: dict = {}
     for _ in range(repeats):
         gc.collect()
         enabled = gc.isenabled()
         gc.disable()
         try:
-            seconds, run_digest = scenario.run(fast_path)
+            seconds, run_digest, jump = scenario.run(fast_path)
         finally:
             if enabled:
                 gc.enable()
@@ -490,13 +521,21 @@ def _timed_runs(scenario: Scenario, fast_path: bool, repeats: int) -> tuple[floa
             )
         best = seconds if best is None else min(best, seconds)
     assert best is not None and digest is not None
-    return best, digest
+    return best, digest, jump
 
 
 def measure_scenario(scenario: Scenario, repeats: int = 2) -> dict:
-    """Time one scenario under both loops and verify bit-identical results."""
-    fast_seconds, fast_digest = _timed_runs(scenario, True, repeats)
-    reference_seconds, reference_digest = _timed_runs(scenario, False, repeats)
+    """Time one scenario under both loops and verify bit-identical results.
+
+    The ``jump`` block is the fast-path run's
+    :meth:`~repro.engine.engine.JumpStats.summary`: deterministic
+    simulations make its counters machine-independent, so CI's perf-smoke
+    gate can diff the fusion ratios against the committed baseline — a
+    fast-path regression that silently falls back to the loop shows up here
+    even when wall-clock noise hides it.
+    """
+    fast_seconds, fast_digest, fast_jump = _timed_runs(scenario, True, repeats)
+    reference_seconds, reference_digest, _ = _timed_runs(scenario, False, repeats)
     if fast_digest != reference_digest:
         raise FastPathDivergenceError(
             f"scenario {scenario.name!r}: fast-path digest {fast_digest[:16]} != "
@@ -508,6 +547,7 @@ def measure_scenario(scenario: Scenario, repeats: int = 2) -> dict:
         "reference_seconds": round(reference_seconds, 4),
         "speedup": round(reference_seconds / fast_seconds, 2),
         "fingerprint": fast_digest,
+        "jump": fast_jump,
     }
 
 
@@ -544,6 +584,25 @@ def write_report(report: dict, path: Path | None = None) -> Path:
     return path
 
 
+def trace_scenario(name: str, trace_path: Path) -> dict:
+    """Run one named scenario once, fast path, streaming a JSONL trace.
+
+    The untimed observability entry point behind ``--trace``: attaches a
+    :class:`~repro.obs.tracer.JsonlTracer` to every simulator the scenario
+    builds and returns its jump summary.  The trace file feeds
+    ``tools/trace_report.py`` and
+    :func:`repro.obs.export.export_chrome_trace`.
+    """
+    from repro.obs.tracer import JsonlTracer
+
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    if name not in by_name:
+        raise SystemExit(f"unknown scenario {name!r}; choose from {sorted(by_name)}")
+    with JsonlTracer(trace_path) as tracer:
+        _, _, jump = by_name[name].run(True, tracer=tracer)
+    return jump
+
+
 def main() -> None:  # pragma: no cover - thin CLI
     import argparse
 
@@ -557,7 +616,22 @@ def main() -> None:  # pragma: no cover - thin CLI
         help="timed runs per scenario per loop; the minimum is reported "
         "(nightly CI uses a larger value to squeeze out scheduler noise)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="instead of benchmarking, run one scenario (--scenario, default "
+        "the first) once with a JSONL tracer attached and write the trace "
+        "here; feed the file to tools/trace_report.py",
+    )
     args = parser.parse_args()
+    if args.trace is not None:
+        name = args.scenarios[0] if args.scenarios else SCENARIOS[0].name
+        jump = trace_scenario(name, args.trace)
+        print(f"{name}: traced to {args.trace}")
+        print(f"jump stats: {json.dumps(jump)}")
+        return
     report = run_benchmarks(args.scenarios, repeats=args.repeats)
     path = write_report(report, args.output)
     for name, entry in report["scenarios"].items():

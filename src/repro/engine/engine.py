@@ -31,12 +31,21 @@ from repro.engine.request import Request, RequestState
 from repro.hardware.platform import Platform
 from repro.memory.block_manager import BlockKVCachePool, OutOfMemoryError
 from repro.memory.pool_stats import MemoryTimeline
+from repro.obs import events as obs
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.schedulers.base import Scheduler, SchedulingContext
 
 
 @dataclass
 class StepResult:
-    """Outcome of one continuous-batching iteration."""
+    """Outcome of one continuous-batching iteration.
+
+    ``source`` tags which execution path produced the result; reference
+    iterations always report ``"loop"`` (event-jump macro-steps produce
+    :class:`JumpResult` instead, tagged ``"silent"`` / ``"saturated"``), so
+    equivalence tests can assert jump coverage instead of inferring it from
+    timings.
+    """
 
     step: int
     start_time: float
@@ -47,6 +56,8 @@ class StepResult:
     work: StepWork = field(default_factory=StepWork)
     used_tokens: int = 0
     future_required_tokens: int = 0
+    #: execution path that produced this iteration (always ``"loop"``).
+    source: str = "loop"
 
     @property
     def end_time(self) -> float:
@@ -79,6 +90,10 @@ class JumpResult:
     end_time: float
     #: decode tokens delivered (``steps * batch_size``).
     decode_tokens: int
+    #: which jump produced the macro-step: ``"silent"`` (empty waiting queue,
+    #: :meth:`InferenceEngine.try_jump`) or ``"saturated"``
+    #: (:meth:`InferenceEngine.try_jump_saturated`).
+    source: str = "silent"
 
 
 @dataclass
@@ -92,6 +107,99 @@ class EngineStats:
     total_evictions: int = 0
     total_admissions: int = 0
     total_finished: int = 0
+
+
+@dataclass
+class JumpStats:
+    """Self-profiling counters of the event-jump fast path.
+
+    Answers "what did the fast path actually do" for one engine's lifetime:
+    how often each jump was attempted and taken, how many iterations each
+    fused, why attempts fell back to the reference loop, and how often the
+    admission scheduler was consulted.  Kept separate from
+    :class:`EngineStats` on purpose — these counters describe the *execution
+    strategy*, not the simulated system, so they differ between fast-path
+    and reference runs and are deliberately excluded from result
+    fingerprints (see :func:`repro.analysis.perf.run_snapshot`).
+    """
+
+    #: reference iterations executed via :meth:`InferenceEngine.step`.
+    loop_steps: int = 0
+    #: silent-jump attempts (:meth:`InferenceEngine.try_jump` calls).
+    silent_attempts: int = 0
+    #: silent-jump attempts that produced a macro-step.
+    silent_jumps: int = 0
+    #: iterations fused across all silent macro-steps.
+    silent_steps_fused: int = 0
+    #: saturated-jump attempts (:meth:`InferenceEngine.try_jump_saturated`).
+    saturated_attempts: int = 0
+    #: saturated-jump attempts that produced a macro-step.
+    saturated_jumps: int = 0
+    #: iterations fused across all saturated macro-steps.
+    saturated_steps_fused: int = 0
+    #: iterations on which the admission scheduler was consulted (non-empty
+    #: waiting queue at :meth:`InferenceEngine.step` time).
+    scheduler_consults: int = 0
+    #: why jump attempts fell back to the reference loop, per reason.
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+
+    def note_fallback(self, reason: str) -> None:
+        """Count one attempt that fell back to the reference loop."""
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+
+    # ------------------------------------------------------------ derived
+    @property
+    def steps_fused(self) -> int:
+        """Iterations advanced by macro-steps of either kind."""
+        return self.silent_steps_fused + self.saturated_steps_fused
+
+    @property
+    def total_steps(self) -> int:
+        """Iterations the engine advanced by any path."""
+        return self.loop_steps + self.steps_fused
+
+    @property
+    def jumps(self) -> int:
+        """Macro-steps taken of either kind."""
+        return self.silent_jumps + self.saturated_jumps
+
+    @property
+    def fused_fraction(self) -> float:
+        """Fraction of all iterations advanced inside macro-steps."""
+        total = self.total_steps
+        return self.steps_fused / total if total else 0.0
+
+    @property
+    def mean_steps_per_jump(self) -> float:
+        """Average iterations fused per taken macro-step."""
+        return self.steps_fused / self.jumps if self.jumps else 0.0
+
+    def merge(self, other: "JumpStats") -> None:
+        """Accumulate another engine's counters into this one (fleet totals)."""
+        self.loop_steps += other.loop_steps
+        self.silent_attempts += other.silent_attempts
+        self.silent_jumps += other.silent_jumps
+        self.silent_steps_fused += other.silent_steps_fused
+        self.saturated_attempts += other.saturated_attempts
+        self.saturated_jumps += other.saturated_jumps
+        self.saturated_steps_fused += other.saturated_steps_fused
+        self.scheduler_consults += other.scheduler_consults
+        for reason, count in other.fallback_reasons.items():
+            self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + count
+
+    def summary(self) -> dict:
+        """Compact JSON-ready view (the ``jump`` block of ``BENCH_core.json``)."""
+        return {
+            "loop_steps": self.loop_steps,
+            "jumps": self.jumps,
+            "steps_fused": self.steps_fused,
+            "silent_jumps": self.silent_jumps,
+            "saturated_jumps": self.saturated_jumps,
+            "scheduler_consults": self.scheduler_consults,
+            "fused_fraction": round(self.fused_fraction, 4),
+            "mean_steps_per_jump": round(self.mean_steps_per_jump, 2),
+            "fallback_reasons": dict(sorted(self.fallback_reasons.items())),
+        }
 
 
 class InferenceEngine:
@@ -115,6 +223,10 @@ class InferenceEngine:
             macro-steps.  Metrics are bit-identical either way; the flag
             exists so any future discrepancy can be bisected against the
             reference loop in one flip.
+        tracer: observability sink for request-lifecycle and macro-step
+            events (see :mod:`repro.obs`); defaults to the zero-overhead
+            :data:`~repro.obs.tracer.NULL_TRACER`.  Tracing only reads
+            state — results are byte-identical with any tracer attached.
     """
 
     def __init__(
@@ -127,6 +239,7 @@ class InferenceEngine:
         chunked_prefill_tokens: int | None = None,
         token_capacity_override: int | None = None,
         fast_path: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -143,8 +256,16 @@ class InferenceEngine:
         self.waiting: deque[Request] = deque()
         self.batch = RunningBatch()
         self.stats = EngineStats()
+        self.jump_stats = JumpStats()
         self.memory_timeline = MemoryTimeline(token_capacity=self.pool.token_capacity)
         self.fast_path = fast_path
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # The enabled flag is immutable per tracer; caching it keeps the
+        # per-token and per-step guards to one attribute read.
+        self._tracing = self.tracer.enabled
+        #: replica index stamped on emitted events (the cluster assigns it;
+        #: standalone engines trace as replica 0).
+        self.trace_replica = 0
         self._step_counter = 0
         # Epoch-guarded profile of a *uniform* batch (every resident decoding).
         # Bumped on any membership/state change (admission, eviction, finish);
@@ -173,12 +294,27 @@ class InferenceEngine:
         """Whether any request is queued or resident."""
         return bool(self.waiting) or not self.batch.is_empty
 
-    def submit(self, request: Request) -> None:
-        """Add an arriving request to the waiting queue."""
+    def submit(self, request: Request, time: float | None = None) -> None:
+        """Add an arriving request to the waiting queue.
+
+        ``time`` is the simulation clock at queue entry, used only for
+        tracing (it defaults to the request's arrival time, which is exact
+        whenever the caller injects arrivals at their timestamps).
+        """
         if request.state is not RequestState.QUEUED:
             raise ValueError("only queued requests can be submitted")
         self.waiting.append(request)
         self.scheduler.on_request_submitted(request)
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_QUEUED,
+                    time if time is not None else request.arrival_time,
+                    request_id=request.request_id,
+                    replica=self.trace_replica,
+                    attrs={"queue_depth": len(self.waiting)},
+                )
+            )
 
     # ------------------------------------------------------------- admission
     def _scheduling_context(self, time: float) -> SchedulingContext:
@@ -197,6 +333,7 @@ class InferenceEngine:
     def _admit(self, time: float) -> list[Request]:
         if not self.waiting:
             return []
+        self.jump_stats.scheduler_consults += 1
         decisions = self.scheduler.schedule(self._scheduling_context(time))
         admitted: list[Request] = []
         for request in decisions:
@@ -237,6 +374,23 @@ class InferenceEngine:
         if admitted:
             self._batch_epoch += 1
         self.stats.total_admissions += len(admitted)
+        if self._tracing and admitted:
+            signals = self.scheduler.trace_signals()
+            for request in admitted:
+                self.tracer.emit(
+                    TraceEvent(
+                        obs.REQUEST_ADMITTED,
+                        time,
+                        request_id=request.request_id,
+                        replica=self.trace_replica,
+                        attrs={
+                            "step": self._step_counter,
+                            "used_tokens": self.pool.used_tokens,
+                            "batch_size": len(self.batch),
+                            **signals,
+                        },
+                    )
+                )
         return admitted
 
     # ---------------------------------------------------------------- prefill
@@ -302,6 +456,19 @@ class InferenceEngine:
         self._batch_epoch += 1
         self.stats.total_evictions += 1
         self.scheduler.on_request_evicted(request, time)
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_EVICTED,
+                    time,
+                    request_id=request.request_id,
+                    replica=self.trace_replica,
+                    attrs={
+                        "generated_tokens": request.generated_tokens,
+                        "eviction_count": request.eviction_count,
+                    },
+                )
+            )
 
     def _deliver_one_token(
         self,
@@ -319,6 +486,16 @@ class InferenceEngine:
             self.pool.append_token(request.request_id)
         request.deliver_token(end_time)
         self.stats.total_decode_tokens += 1
+        if self._tracing and request.generated_tokens == 1:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_FIRST_TOKEN,
+                    end_time,
+                    request_id=request.request_id,
+                    replica=self.trace_replica,
+                    attrs={"prefill_tokens": request.prefilled_tokens},
+                )
+            )
         if request.should_stop:
             request.finish(end_time)
             self.pool.free(request.request_id)
@@ -327,6 +504,19 @@ class InferenceEngine:
             finished.append(request)
             self.stats.total_finished += 1
             self.scheduler.on_request_finished(request, end_time)
+            if self._tracing:
+                self.tracer.emit(
+                    TraceEvent(
+                        obs.REQUEST_FINISHED,
+                        end_time,
+                        request_id=request.request_id,
+                        replica=self.trace_replica,
+                        attrs={
+                            "generated_tokens": request.generated_tokens,
+                            "evictions": request.eviction_count,
+                        },
+                    )
+                )
         return True
 
     # ------------------------------------------------------------------- step
@@ -398,10 +588,32 @@ class InferenceEngine:
                 future_required = self._true_future_required()
 
         self.stats.total_prefill_tokens += prefill_tokens
+        self.jump_stats.loop_steps += 1
         if work.is_idle:
             self.stats.idle_steps += 1
         else:
             self.stats.decoding_steps += 1
+        if self._tracing and (admitted or finished or evicted or prefill_tokens):
+            # Silent iterations are covered by engine.jump spans (or are not
+            # interesting enough to log one-by-one); eventful ones carry the
+            # whole story of where scheduling activity happened.
+            self.tracer.emit(
+                TraceEvent(
+                    obs.ENGINE_STEP,
+                    time,
+                    replica=self.trace_replica,
+                    duration=duration,
+                    attrs={
+                        "step": self._step_counter,
+                        "source": "loop",
+                        "admitted": len(admitted),
+                        "finished": len(finished),
+                        "evicted": len(evicted),
+                        "prefill_tokens": prefill_tokens,
+                        "batch_size": len(self.batch),
+                    },
+                )
+            )
 
         used = self.pool.used_tokens
         self.memory_timeline.record(
@@ -534,12 +746,28 @@ class InferenceEngine:
             are not provably silent — the caller must fall back to
             :meth:`step`.
         """
+        if not self.fast_path:
+            return None
+        stats = self.jump_stats
+        stats.silent_attempts += 1
         bound = self.silent_steps_bound()
+        if bound < min_steps:
+            stats.note_fallback("silent:no-window")
+            return None
         if max_steps is not None and max_steps < bound:
             bound = max_steps
         if bound < min_steps:
+            stats.note_fallback("silent:step-budget")
             return None
-        return self._execute_jump(time, bound, horizon, max_time, min_steps, queued_requests=0)
+        result = self._execute_jump(
+            time, bound, horizon, max_time, min_steps, queued_requests=0, source="silent"
+        )
+        if result is None:
+            stats.note_fallback("silent:horizon-clip")
+        else:
+            stats.silent_jumps += 1
+            stats.silent_steps_fused += result.steps
+        return result
 
     def try_jump_any(
         self,
@@ -594,10 +822,16 @@ class InferenceEngine:
         """
         if not self.fast_path or not self.waiting:
             return None
+        stats = self.jump_stats
+        stats.saturated_attempts += 1
         bound = self._uniform_decode_bound()
+        if bound < min_steps:
+            stats.note_fallback("saturated:not-uniform")
+            return None
         if max_steps is not None and max_steps < bound:
             bound = max_steps
         if bound < min_steps:
+            stats.note_fallback("saturated:step-budget")
             return None
         # The context the scheduler would see at the first fused iteration;
         # ``step`` accounts for the pre-admission counter increment in
@@ -613,11 +847,22 @@ class InferenceEngine:
         )
         bound = min(bound, self.scheduler.saturated_no_admit_horizon(context, bound))
         if bound < min_steps:
+            stats.note_fallback("saturated:scheduler-horizon")
             return None
         result = self._execute_jump(
-            time, bound, horizon, max_time, min_steps, queued_requests=len(self.waiting)
+            time,
+            bound,
+            horizon,
+            max_time,
+            min_steps,
+            queued_requests=len(self.waiting),
+            source="saturated",
         )
-        if result is not None:
+        if result is None:
+            stats.note_fallback("saturated:horizon-clip")
+        else:
+            stats.saturated_jumps += 1
+            stats.saturated_steps_fused += result.steps
             self.scheduler.on_saturated_steps_fused(result.steps)
         return result
 
@@ -629,6 +874,7 @@ class InferenceEngine:
         max_time: float | None,
         min_steps: int,
         queued_requests: int,
+        source: str = "silent",
     ) -> JumpResult | None:
         """Advance up to ``bound`` proven-event-free iterations in one macro-step.
 
@@ -680,11 +926,27 @@ class InferenceEngine:
             future_required,
             cache[4] - steps,
         )
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.ENGINE_JUMP,
+                    time,
+                    replica=self.trace_replica,
+                    duration=end_times[-1] - time,
+                    attrs={
+                        "source": source,
+                        "steps": steps,
+                        "decode_tokens": steps * batch_size,
+                        "batch_size": batch_size,
+                    },
+                )
+            )
         return JumpResult(
             steps=steps,
             start_time=time,
             end_time=end_times[-1],
             decode_tokens=steps * batch_size,
+            source=source,
         )
 
     def _true_future_required(self) -> int:

@@ -1,0 +1,124 @@
+"""The typed event taxonomy the simulators emit.
+
+Event names are dot-separated ``subsystem.what`` strings grouped into three
+families; each constant below documents its emitter, its timestamp meaning,
+and the ``attrs`` payload it carries.  The taxonomy is the contract between
+the emitting layers and the consumers (:mod:`repro.obs.export`,
+``tools/trace_report.py``): add new events here first, then emit them.
+
+Request lifecycle (one ``request_id`` per event)::
+
+    request.submit ──► request.throttled            (turned away pre-queue)
+                  └──► request.routed / .rejected / .deferred   (fleet only)
+                  └──► request.queued ──► request.admitted
+                           ▲                  │
+                           └── request.evicted┤
+                                              ▼
+                            request.first_token ──► request.finished
+
+Engine execution: ``engine.step`` spans cover *eventful* iterations (an
+admission, finish, eviction, or prefill work happened); provably event-free
+iterations are covered by ``engine.jump`` spans instead, one per fused
+macro-step — together the two reconstruct where simulated time went without
+logging millions of silent decode steps.
+
+Fleet: replica lifecycle transitions plus the decisions that caused them.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------- request lifecycle
+#: A load generator produced an arrival (simulator level, before any gate).
+#: attrs: prompt_tokens, and when present user_id / app_id / sla_class.
+REQUEST_SUBMIT = "request.submit"
+
+#: The overload throttle turned the arrival away before routing/queueing.
+#: attrs: reason, plus the tenant window usage behind the decision
+#: (user_window / user_rpm / app_window / app_rpm when configured).
+REQUEST_THROTTLED = "request.throttled"
+
+#: A router placed the request on a replica.  attrs: replica (target id),
+#: candidates (routable count), and the chosen replica's scoring signals
+#: (load_fraction, headroom_fraction, saturated).
+REQUEST_ROUTED = "request.routed"
+
+#: A router (or the cluster saturation knob) rejected the request.
+#: attrs: reason, candidates.
+REQUEST_REJECTED = "request.rejected"
+
+#: A router parked the request for a later routing attempt.
+#: attrs: retry_at, candidates.
+REQUEST_DEFERRED = "request.deferred"
+
+#: The request entered an engine's waiting queue.  attrs: queue_depth.
+REQUEST_QUEUED = "request.queued"
+
+#: The admission scheduler moved the request into the running batch.
+#: attrs: step, used_tokens, batch_size, plus any
+#: :meth:`repro.schedulers.base.Scheduler.trace_signals` the policy exposes.
+REQUEST_ADMITTED = "request.admitted"
+
+#: Prefill completed — the first output token reached the client.
+#: attrs: prefill_tokens (prompt tokens computed this residency).
+REQUEST_FIRST_TOKEN = "request.first_token"
+
+#: Generation completed.  attrs: generated_tokens, evictions.
+REQUEST_FINISHED = "request.finished"
+
+#: The request lost its KV cache and returned to the waiting queue.
+#: attrs: generated_tokens, eviction_count.
+REQUEST_EVICTED = "request.evicted"
+
+# ---------------------------------------------------------------- engine spans
+#: One *eventful* continuous-batching iteration (admission, finish, eviction,
+#: or prefill work).  A span: ``time`` is the iteration start, ``duration``
+#: its modelled latency.  attrs: step, source (see ``StepResult.source``),
+#: admitted / finished / evicted counts, prefill_tokens, batch_size.
+ENGINE_STEP = "engine.step"
+
+#: One event-jump macro-step fusing provably event-free iterations.  A span:
+#: ``time`` is the first fused iteration's start, ``duration`` covers all of
+#: them.  attrs: source ("silent" / "saturated"), steps (iterations fused),
+#: decode_tokens, batch_size.
+ENGINE_JUMP = "engine.jump"
+
+# ----------------------------------------------------------------- fleet events
+#: A replica was launched (cold engine).  attrs: platform, warmup_delay,
+#: state ("warming" or "active" for zero-delay launches).
+REPLICA_LAUNCH = "replica.launch"
+
+#: A warming replica finished its warm-up delay and became routable.
+REPLICA_ACTIVATE = "replica.activate"
+
+#: A replica stopped accepting placements and began draining resident work.
+#: attrs: running, waiting (work left to drain).
+REPLICA_DRAIN = "replica.drain"
+
+#: A replica was released (drained or cancelled while warming).
+REPLICA_RETIRE = "replica.retire"
+
+#: The autoscaler evaluated its policy.  attrs: target, provisioned, active,
+#: warming, draining, saturation_rate, arrival_rate.
+AUTOSCALE_DECISION = "autoscale.decision"
+
+#: Canonical ordering of the taxonomy with a one-line description per event;
+#: ``tools/trace_report.py`` and docs/observability.md render from this.
+EVENT_TAXONOMY: dict[str, str] = {
+    REQUEST_SUBMIT: "load generator produced an arrival",
+    REQUEST_THROTTLED: "overload throttle rejected the arrival pre-queue",
+    REQUEST_ROUTED: "router placed the request on a replica",
+    REQUEST_REJECTED: "router/cluster rejected the request",
+    REQUEST_DEFERRED: "router parked the request for a retry",
+    REQUEST_QUEUED: "request entered an engine waiting queue",
+    REQUEST_ADMITTED: "scheduler admitted the request into the batch",
+    REQUEST_FIRST_TOKEN: "prefill completed; first token delivered",
+    REQUEST_FINISHED: "generation completed",
+    REQUEST_EVICTED: "request evicted back to the waiting queue",
+    ENGINE_STEP: "eventful continuous-batching iteration (span)",
+    ENGINE_JUMP: "event-jump macro-step of fused iterations (span)",
+    REPLICA_LAUNCH: "replica launched (cold engine)",
+    REPLICA_ACTIVATE: "replica finished warm-up and became routable",
+    REPLICA_DRAIN: "replica began draining resident work",
+    REPLICA_RETIRE: "replica released",
+    AUTOSCALE_DECISION: "autoscaler evaluated its sizing policy",
+}

@@ -131,6 +131,18 @@ class Scheduler(abc.ABC):
             and len(context.running) >= self.max_running_requests
         )
 
+    # ---------------------------------------------------------- observability
+    def trace_signals(self) -> dict:
+        """Policy-specific attributes attached to ``request.admitted`` events.
+
+        Returns a small JSON-serialisable mapping of the internal signals
+        behind the policy's admission decisions (service counters, queue
+        weights, ...).  Only consulted when a tracer is attached, so
+        overrides may do modest per-call work; stateless policies inherit
+        the empty default.
+        """
+        return {}
+
     # ------------------------------------------------------------- lifecycle
     def on_request_submitted(self, request: Request) -> None:
         """Called by the engine when a new request enters the waiting queue.

@@ -218,6 +218,16 @@ class VirtualTokenCounterScheduler(Scheduler):
         head_cost = self._first_candidate(context.waiting).current_context_tokens
         return max_steps if occupied + head_cost > budget else 0
 
+    def trace_signals(self) -> dict:
+        """Virtual counters of the currently active tenants (rounded)."""
+        return {
+            "active_tenants": len(self._active),
+            "counters": {
+                tenant: round(self._counters.get(tenant, 0.0), 3)
+                for tenant in sorted(self._active)
+            },
+        }
+
     def describe(self) -> str:
         return f"vtc (watermark={self.watermark:.0%})"
 

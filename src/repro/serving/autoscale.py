@@ -415,6 +415,7 @@ class AutoscaleDecision:
     provisioned: int
     num_active: int
     saturation_rate: float
+    arrival_rate: float = 0.0
 
     @property
     def delta(self) -> int:
@@ -570,6 +571,7 @@ class Autoscaler:
                 provisioned=view.provisioned,
                 num_active=view.num_active,
                 saturation_rate=view.saturation_rate,
+                arrival_rate=view.arrival_rate,
             )
         )
         while self._next_decision <= time:

@@ -65,6 +65,8 @@ from repro.engine.eviction import EvictionPolicy
 from repro.engine.request import Request
 from repro.hardware.platform import Platform, ensure_single_model
 from repro.metrics.fleet import FleetSizeSample, ReplicaLifetime
+from repro.obs import events as obs
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler
@@ -77,7 +79,7 @@ from repro.serving.routing import (
     RoutingDecision,
     create_router,
 )
-from repro.serving.server import LoadGenerator, SimulationLimits
+from repro.serving.server import LoadGenerator, SimulationLimits, _submit_attrs
 from repro.serving.throttle import OverloadThrottle
 from repro.workloads.spec import RequestSpec, Workload
 
@@ -219,6 +221,15 @@ class ClusterSimulator:
             for closed-loop clients — any other replica's steps) sees
             bit-identical state; ``False`` forces the reference
             one-iteration loop for bisection.
+        throttle: optional overload rate limiter applied before routing
+            (see :mod:`repro.serving.throttle`).
+        tracer: optional observer (see :mod:`repro.obs`) shared with every
+            replica engine.  The cluster emits submission, routing, replica
+            lifecycle, and autoscale events; each engine emits the
+            queue/admission/token lifecycle and its ``engine.step`` /
+            ``engine.jump`` spans tagged with its replica index.  The
+            default :class:`~repro.obs.tracer.NullTracer` keeps runs
+            byte-identical to untraced ones.
     """
 
     def __init__(
@@ -241,6 +252,7 @@ class ClusterSimulator:
         limits: SimulationLimits | None = None,
         fast_path: bool = True,
         throttle: OverloadThrottle | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if (platform is None) == (platforms is None):
             raise ValueError("exactly one of platform / platforms is required")
@@ -276,6 +288,8 @@ class ClusterSimulator:
         # router instance.
         self._force_reject_when_saturated = reject_when_saturated
         self.throttle = throttle
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
         self.autoscaler = autoscaler
         self.limits = limits or SimulationLimits()
         self.fast_path = fast_path
@@ -404,6 +418,7 @@ class ClusterSimulator:
             chunked_prefill_tokens=self._chunked_prefill_tokens,
             token_capacity_override=self._effective_capacity(platform),
             fast_path=self.fast_path,
+            tracer=self.tracer,
         )
 
     def _launch_replica(self, time: float, warmup_delay: float) -> _Replica:
@@ -420,8 +435,22 @@ class ClusterSimulator:
             ready_at=ready_at,
             clock=ready_at if warmup_delay <= 0 else time,
         )
+        replica.engine.trace_replica = replica.index
         self.replicas.append(replica)
         self._record_fleet_sample(time)
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REPLICA_LAUNCH,
+                    time,
+                    replica=replica.index,
+                    attrs={
+                        "platform": platform.describe(),
+                        "warmup_delay": warmup_delay,
+                        "state": replica.state.value,
+                    },
+                )
+            )
         return replica
 
     def _activate_ready(self, time: float) -> None:
@@ -432,6 +461,10 @@ class ClusterSimulator:
                 replica.state = ReplicaState.ACTIVE
                 replica.clock = max(replica.clock, replica.ready_at)
                 changed = True
+                if self._tracing:
+                    self.tracer.emit(
+                        TraceEvent(obs.REPLICA_ACTIVATE, time, replica=replica.index)
+                    )
         if changed:
             self._record_fleet_sample(time)
 
@@ -439,6 +472,8 @@ class ClusterSimulator:
         replica.state = ReplicaState.RETIRED
         replica.retired_at = max(replica.clock, time)
         self._record_fleet_sample(time)
+        if self._tracing:
+            self.tracer.emit(TraceEvent(obs.REPLICA_RETIRE, time, replica=replica.index))
 
     def _drain_replicas(self, count: int, time: float) -> None:
         """Take ``count`` provisioned replicas out of the routable set.
@@ -464,6 +499,18 @@ class ClusterSimulator:
             if replica.engine.has_work():
                 replica.state = ReplicaState.DRAINING
                 self._record_fleet_sample(time)
+                if self._tracing:
+                    self.tracer.emit(
+                        TraceEvent(
+                            obs.REPLICA_DRAIN,
+                            time,
+                            replica=replica.index,
+                            attrs={
+                                "running": replica.engine.num_running,
+                                "waiting": replica.engine.num_waiting,
+                            },
+                        )
+                    )
             else:
                 self._retire(replica, time)
 
@@ -492,6 +539,23 @@ class ClusterSimulator:
             warming_capacity=warming_capacity,
             launch_capacity=self.next_launch_capacity(),
         )
+        if self._tracing:
+            decision = self.autoscaler.decisions[-1]
+            self.tracer.emit(
+                TraceEvent(
+                    obs.AUTOSCALE_DECISION,
+                    time,
+                    attrs={
+                        "target": decision.target,
+                        "provisioned": decision.provisioned,
+                        "active": decision.num_active,
+                        "warming": self._count(ReplicaState.WARMING),
+                        "draining": self._count(ReplicaState.DRAINING),
+                        "saturation_rate": round(decision.saturation_rate, 4),
+                        "arrival_rate": round(decision.arrival_rate, 4),
+                    },
+                )
+            )
         self._apply_autoscale_target(target, time)
 
     # ---------------------------------------------------------------- routing
@@ -511,6 +575,12 @@ class ClusterSimulator:
         """
         if arrived_at is None:
             arrived_at = spec.arrival_time if spec.arrival_time is not None else now
+        if self._tracing and first_attempt:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_SUBMIT, now, request_id=spec.request_id, attrs=_submit_attrs(spec)
+                )
+            )
         if first_attempt and self.throttle is not None:
             # Rate limiting sits in front of routing: a throttled arrival
             # consumes no routing decision and no autoscaler traffic signal.
@@ -520,6 +590,18 @@ class ClusterSimulator:
             if reason is not None:
                 self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
                 self.reject_reasons[reason] += 1
+                if self._tracing:
+                    self.tracer.emit(
+                        TraceEvent(
+                            obs.REQUEST_THROTTLED,
+                            now,
+                            request_id=spec.request_id,
+                            attrs={
+                                "reason": reason,
+                                **self.throttle.window_usage(spec, now),
+                            },
+                        )
+                    )
                 # Unlike saturation rejects, throttle rejects can release the
                 # client slot at this same instant without a zero-time
                 # cascade risk: the rate window only fills as requests are
@@ -543,6 +625,18 @@ class ClusterSimulator:
         if decision.is_reject:
             self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
             self.reject_reasons[decision.reason or "unspecified"] += 1
+            if self._tracing:
+                self.tracer.emit(
+                    TraceEvent(
+                        obs.REQUEST_REJECTED,
+                        now,
+                        request_id=spec.request_id,
+                        attrs={
+                            "reason": decision.reason or "unspecified",
+                            "candidates": len(views),
+                        },
+                    )
+                )
             # The client's slot must be released or a closed-loop pool would
             # deadlock — but not at this same instant: views only change when
             # a replica steps, so an immediate release would re-inject (and
@@ -560,6 +654,15 @@ class ClusterSimulator:
                     "must be strictly later"
                 )
             self.deferrals += 1
+            if self._tracing:
+                self.tracer.emit(
+                    TraceEvent(
+                        obs.REQUEST_DEFERRED,
+                        now,
+                        request_id=spec.request_id,
+                        attrs={"retry_at": decision.retry_at, "candidates": len(views)},
+                    )
+                )
             heapq.heappush(
                 self._deferred_heap,
                 _DeferredArrival(
@@ -585,13 +688,27 @@ class ClusterSimulator:
                 f"router {self.router.name!r} routed to invalid replica "
                 f"{decision.replica_id}; routable ids: {sorted(routable)}"
             )
+        if self._tracing:
+            chosen = next(v for v in views if v.replica_id == decision.replica_id)
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_ROUTED,
+                    now,
+                    request_id=spec.request_id,
+                    attrs={
+                        "replica": decision.replica_id,
+                        "candidates": len(views),
+                        **chosen.trace_signals(),
+                    },
+                )
+            )
         request = Request(spec=spec, arrival_time=arrived_at)
         if not replica.engine.has_work():
             # An idle replica resumes at the arrival instant; a busy one keeps
             # its clock and picks the request up at its next iteration.
             replica.clock = max(replica.clock, now)
         replica.requests.append(request)
-        replica.engine.submit(request)
+        replica.engine.submit(request, now)
 
     # ---------------------------------------------------------------- running
     def _run(
@@ -768,6 +885,7 @@ class ClusterSimulator:
                 memory_timeline=replica.engine.memory_timeline,
                 token_capacity=replica.engine.token_capacity,
                 completed=completed,
+                jump_stats=replica.engine.jump_stats,
             )
             for replica in self.replicas
         ]

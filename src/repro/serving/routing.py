@@ -272,6 +272,21 @@ class ReplicaView:
         """
         return self.used_tokens + self.queued_demand_tokens >= self.token_capacity
 
+    def trace_signals(self) -> dict:
+        """The scoring signals routers rank on, for ``request.routed`` events.
+
+        A small JSON-serialisable snapshot of the view at decision time, so
+        exported timelines show *why* a replica won the placement.
+        """
+        return {
+            "running": self.num_running,
+            "waiting": self.num_waiting,
+            "load_fraction": round(self.load_fraction, 4),
+            "headroom_fraction": round(self.headroom_fraction, 4),
+            "saturated": self.saturated,
+            "speed_factor": self.speed_factor,
+        }
+
 
 #: Deprecated alias for :class:`ReplicaView`, kept for the PR-1/PR-2 API.
 ReplicaSnapshot = ReplicaView

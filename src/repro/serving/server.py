@@ -24,6 +24,8 @@ from repro.engine.engine import InferenceEngine
 from repro.engine.eviction import EvictionPolicy
 from repro.engine.request import Request
 from repro.hardware.platform import Platform
+from repro.obs import events as obs
+from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.schedulers.base import Scheduler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
 from repro.serving.results import RunResult
@@ -56,6 +58,18 @@ class LoadGenerator(Protocol):
         ...
 
 
+def _submit_attrs(spec) -> dict:
+    """``request.submit`` payload: prompt size plus any tenant identity."""
+    attrs: dict = {"prompt_tokens": spec.prompt_tokens}
+    if spec.user_id is not None:
+        attrs["user_id"] = spec.user_id
+    if spec.app_id is not None:
+        attrs["app_id"] = spec.app_id
+    if spec.sla_class:
+        attrs["sla_class"] = spec.sla_class
+    return attrs
+
+
 @dataclass
 class SimulationLimits:
     """Safety bounds so misconfigured runs terminate."""
@@ -75,6 +89,13 @@ class ServingSimulator:
     ``fast_path=False`` forces the reference one-iteration-at-a-time loop.
     Results are bit-identical, so the flag is purely a bisection escape
     hatch.
+
+    ``tracer`` attaches an observer (see :mod:`repro.obs`): the simulator
+    emits ``request.submit`` / ``request.throttled`` events and shares the
+    tracer with the engine, which emits the queue/admission/token lifecycle
+    and the ``engine.step`` / ``engine.jump`` spans.  The default
+    :class:`~repro.obs.tracer.NullTracer` keeps every run byte-identical to
+    an untraced one.
     """
 
     def __init__(
@@ -89,11 +110,13 @@ class ServingSimulator:
         limits: SimulationLimits | None = None,
         fast_path: bool = True,
         throttle: OverloadThrottle | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
         self.fast_path = fast_path
         self.throttle = throttle
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.engine = InferenceEngine(
             platform=platform,
             scheduler=scheduler,
@@ -103,6 +126,7 @@ class ServingSimulator:
             chunked_prefill_tokens=chunked_prefill_tokens,
             token_capacity_override=token_capacity_override,
             fast_path=fast_path,
+            tracer=self.tracer,
         )
         self.limits = limits or SimulationLimits()
 
@@ -118,11 +142,21 @@ class ServingSimulator:
         reject_reasons: dict[str, int] = {}
         completed = True
 
+        tracing = self.tracer.enabled
         step = 0
         idle_streak = 0
         while True:
             for spec in generator.pop_arrivals(time):
                 arrival = spec.arrival_time if spec.arrival_time is not None else time
+                if tracing:
+                    self.tracer.emit(
+                        TraceEvent(
+                            obs.REQUEST_SUBMIT,
+                            time,
+                            request_id=spec.request_id,
+                            attrs=_submit_attrs(spec),
+                        )
+                    )
                 if self.throttle is not None:
                     reason = self.throttle.check(spec, time)
                     if reason is not None:
@@ -132,11 +166,23 @@ class ServingSimulator:
                         # its think time, exactly like a completion would.
                         rejected.append(Request(spec=spec, arrival_time=arrival))
                         reject_reasons[reason] = reject_reasons.get(reason, 0) + 1
+                        if tracing:
+                            self.tracer.emit(
+                                TraceEvent(
+                                    obs.REQUEST_THROTTLED,
+                                    time,
+                                    request_id=spec.request_id,
+                                    attrs={
+                                        "reason": reason,
+                                        **self.throttle.window_usage(spec, time),
+                                    },
+                                )
+                            )
                         generator.on_request_finished(time)
                         continue
                 request = Request(spec=spec, arrival_time=arrival)
                 all_requests.append(request)
-                engine.submit(request)
+                engine.submit(request, time)
 
             if not engine.has_work():
                 if generator.drained:
@@ -206,6 +252,7 @@ class ServingSimulator:
             completed=completed,
             rejected=rejected,
             reject_reasons=reject_reasons,
+            jump_stats=engine.jump_stats,
         )
 
     def run_closed_loop(

@@ -122,6 +122,28 @@ class OverloadThrottle:
             self._app_windows.setdefault(spec.app_id, deque()).append(now)
         return None
 
+    def window_usage(self, spec: RequestSpec, now: float) -> dict:
+        """Read-only snapshot of the tenant windows behind one decision.
+
+        Counts in-window arrivals without mutating the deques (no pruning),
+        so it is safe to call from tracing code at any point relative to
+        :meth:`check`.  Returned keys (``user_window`` / ``user_rpm`` /
+        ``app_window`` / ``app_rpm``) appear only for configured limits whose
+        tenant id is present on the spec — the payload of
+        ``request.throttled`` events.
+        """
+        cutoff = now - self.window_seconds
+        usage: dict = {}
+        if self.user_rpm is not None and spec.user_id is not None:
+            window = self._user_windows.get(spec.user_id, ())
+            usage["user_window"] = sum(1 for t in window if t > cutoff)
+            usage["user_rpm"] = self.user_rpm
+        if self.app_rpm is not None and spec.app_id is not None:
+            window = self._app_windows.get(spec.app_id, ())
+            usage["app_window"] = sum(1 for t in window if t > cutoff)
+            usage["app_rpm"] = self.app_rpm
+        return usage
+
     def describe(self) -> str:
         """One-line parameterised description used in result tables."""
         parts = []

@@ -1,0 +1,75 @@
+"""Tracing must never change simulation results.
+
+The observability layer's hard contract: attaching any tracer — or none —
+leaves every fingerprinted metric bit-identical.  The committed
+``BENCH_core.json`` digests double as pre-PR snapshots: the default
+:class:`~repro.obs.tracer.NullTracer` run must still hash to exactly the
+bytes recorded before the tracing subsystem existed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perf import BENCH_PATH, SCENARIOS, cluster_fingerprint, run_fingerprint
+from repro.obs.tracer import NullTracer, RingTracer
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.server import ServingSimulator
+from tests.conftest import TINY_CAPACITY, make_workload
+
+
+def server_fingerprint(platform, tracer):
+    sim = ServingSimulator(
+        platform=platform,
+        scheduler=ConservativeScheduler(),
+        token_capacity_override=TINY_CAPACITY,
+        tracer=tracer,
+    )
+    return run_fingerprint(sim.run_closed_loop(make_workload(num_requests=16), num_clients=4))
+
+
+def fleet_fingerprint(platform, tracer):
+    cluster = ClusterSimulator(
+        platform=platform,
+        num_replicas=2,
+        router="least-outstanding",
+        scheduler_name="conservative",
+        token_capacity_override=TINY_CAPACITY,
+        tracer=tracer,
+    )
+    return cluster_fingerprint(cluster.run_closed_loop(make_workload(num_requests=16), num_clients=4))
+
+
+class TestTracerNeutrality:
+    def test_server_fingerprint_is_tracer_independent(self, platform_7b):
+        untraced = server_fingerprint(platform_7b, None)
+        assert server_fingerprint(platform_7b, NullTracer()) == untraced
+        assert server_fingerprint(platform_7b, RingTracer()) == untraced
+
+    def test_cluster_fingerprint_is_tracer_independent(self, platform_7b):
+        untraced = fleet_fingerprint(platform_7b, None)
+        assert fleet_fingerprint(platform_7b, NullTracer()) == untraced
+        assert fleet_fingerprint(platform_7b, RingTracer()) == untraced
+
+
+class TestCommittedSnapshots:
+    @pytest.fixture(scope="class")
+    def committed(self) -> dict:
+        if not BENCH_PATH.exists():
+            pytest.skip("no committed BENCH_core.json in this checkout")
+        return json.loads(BENCH_PATH.read_text())["scenarios"]
+
+    def test_fig12_matches_pre_tracing_snapshot(self, committed):
+        # The fastest committed scenario, re-run with the default NullTracer:
+        # its digest must equal the snapshot taken before tracing landed.
+        scenario = next(s for s in SCENARIOS if s.name == "fig12_heterogeneous")
+        _, digest, _ = scenario.run(True)
+        assert digest == committed["fig12_heterogeneous"]["fingerprint"]
+
+    def test_fig12_traced_run_matches_snapshot_too(self, committed):
+        scenario = next(s for s in SCENARIOS if s.name == "fig12_heterogeneous")
+        _, digest, _ = scenario.run(True, tracer=RingTracer(capacity=1024))
+        assert digest == committed["fig12_heterogeneous"]["fingerprint"]

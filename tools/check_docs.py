@@ -34,6 +34,19 @@ from pathlib import Path
 
 SKIP_MARKER = "<!-- docs-check: skip -->"
 
+#: Pages every checkout must ship: the docs subsystem's table of contents.
+#: A page listed here that is missing from ``docs/`` fails the check, so a
+#: refactor cannot silently drop documentation (renames must update this
+#: manifest alongside the README links).
+REQUIRED_DOCS = (
+    "architecture.md",
+    "fairness.md",
+    "migration.md",
+    "observability.md",
+    "performance.md",
+    "simulation-semantics.md",
+)
+
 #: Markdown inline links/images: [text](target) / ![alt](target).
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
@@ -138,6 +151,9 @@ def main() -> int:
     root = repo_root()
     sys.path.insert(0, str(root / "src"))
     errors: list[str] = []
+    for name in REQUIRED_DOCS:
+        if not (root / "docs" / name).exists():
+            errors.append(f"docs/{name}: required page is missing (see REQUIRED_DOCS)")
     checked_links = executed = 0
     for path in documentation_files(root):
         links, snippets = extract(path)

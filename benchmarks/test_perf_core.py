@@ -1,13 +1,19 @@
 """Perf-smoke: regenerate ``BENCH_core.json`` and guard the perf trajectory.
 
-Times the six core scenarios (single-engine fig07 sweep, the saturated-phase
-fig07 variant, fig10 cluster routing, fig11 autoscaling, the fig12
-heterogeneous fleet, and the fig13 multi-tenant fairness stack) under the
+Times the seven core scenarios (single-engine fig07 sweep, the
+saturated-phase fig07 variant, fig10 cluster routing, fig11 autoscaling, the
+fig12 heterogeneous fleet, the fig13 multi-tenant fairness stack, and the
+fig14 chaos fleet under a seeded fault plan) under the
 event-jump fast path and the reference loop,
 verifies the two produce bit-identical metrics (the harness raises before any
 timing is reported otherwise), rewrites ``BENCH_core.json`` at the repo root,
 and fails when a scenario's measured speedup regresses more than 2x against
-the committed baseline.
+the committed baseline.  The fingerprints themselves are also compared
+against the committed file: simulations are deterministic and
+machine-independent, so any fingerprint drift means results changed — in
+particular, the six fault-free scenarios pin the guarantee that the fault
+subsystem is invisible when no :class:`~repro.serving.faults.FaultPlan` is
+attached.
 
 Speedup (a ratio of two runs on the same machine) is compared rather than
 absolute seconds, so the check is robust to slow CI hosts.
@@ -46,6 +52,9 @@ SPEEDUP_FLOORS = {
     # Mostly the saturated-VTC engine run; the fair scheduler's horizon hook
     # is what keeps this scenario fast, so the floor guards it directly.
     "fig13_fairness": 2.0,
+    # FAULT events bound the jump horizon, so the chaos scenario proves the
+    # fast path still fuses aggressively between fault edges.
+    "fig14_failure_recovery": 2.0,
 }
 
 #: A scenario may not regress more than this factor against the committed
@@ -125,6 +134,27 @@ def test_jump_fusion_matches_baseline(fresh_report, committed_baseline, scenario
             f"{drift:.4f} from committed {committed['fused_fraction']} "
             f"(limit {MAX_FUSION_DRIFT})"
         )
+
+
+@pytest.mark.parametrize("scenario_name", [s.name for s in SCENARIOS])
+def test_fingerprint_matches_committed_baseline(fresh_report, committed_baseline, scenario_name):
+    """Result fingerprints must be byte-identical to the committed baseline.
+
+    Fingerprints hash simulation *results*, not timings, and the simulations
+    are seeded and deterministic — so they are machine-independent.  For the
+    six fault-free scenarios this is the regression gate proving that code
+    which only runs under a ``FaultPlan`` (fault events, health filtering,
+    retry bookkeeping) is byte-invisible when none is attached; for
+    fig14 it pins the seeded chaos schedule itself.
+    """
+    committed = committed_baseline.get(scenario_name)
+    if not committed:
+        pytest.skip(f"{scenario_name} not in committed BENCH_core.json yet")
+    fresh = fresh_report["scenarios"][scenario_name]["fingerprint"]
+    assert fresh == committed["fingerprint"], (
+        f"{scenario_name}: fingerprint {fresh[:16]}... diverged from committed "
+        f"{committed['fingerprint'][:16]}... — simulation results changed"
+    )
 
 
 def test_measure_scenario_rejects_divergence(monkeypatch):

@@ -6,12 +6,14 @@ engine one decode iteration at a time; the event-jump fast path
 event-free iterations into vectorized macro-steps with bit-identical results.
 This module pins that claim under regression tracking:
 
-* six scenarios — single-engine goodput-vs-clients (the fig07 shape), a
+* seven scenarios — single-engine goodput-vs-clients (the fig07 shape), a
   deeply *saturated* single engine (non-empty waiting queue, the regime the
   saturated-phase jump targets), cluster routing (fig10), autoscaling
-  (fig11), a heterogeneous mixed-GPU fleet (the fig12 shape), and the
+  (fig11), a heterogeneous mixed-GPU fleet (the fig12 shape), the
   multi-tenant fairness stack (the fig13 shape: VTC scheduling plus
-  overload throttling under a heavy-tail tenant population) — run at
+  overload throttling under a heavy-tail tenant population), and a chaos
+  fleet under a seeded fault plan (the fig14 shape: crashes, a straggler,
+  retries, and replacement launches) — run at
   **full-scale** request lengths (the regime the ROADMAP's fleet experiments
   are bottlenecked on), each once with the fast path and once with the
   reference one-iteration loop (``fast_path=False``);
@@ -47,6 +49,7 @@ from repro.obs.tracer import Tracer
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler, create_autoscale_policy
 from repro.serving.cluster import ClusterSimulator
+from repro.serving.faults import FaultPlan, ReplicaCrash, RetryPolicy, Straggler
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.server import ServingSimulator
 from repro.serving.throttle import OverloadThrottle
@@ -131,7 +134,7 @@ def run_snapshot(result: RunResult) -> dict:
 
 def cluster_snapshot(result: ClusterResult) -> dict:
     """Exact-comparable view of a fleet run: replicas plus fleet bookkeeping."""
-    return {
+    snapshot = {
         "duration": result.duration,
         "completed": result.completed,
         "replicas": [run_snapshot(replica) for replica in result.replicas],
@@ -142,6 +145,19 @@ def cluster_snapshot(result: ClusterResult) -> dict:
             for life in result.lifetimes
         ],
     }
+    # Fault bookkeeping is appended only when a fault plan actually acted, so
+    # fingerprints of fault-free runs — including every committed baseline —
+    # are unchanged by the fields' existence.
+    if result.fault_events or result.failed or result.retries or result.migrations:
+        snapshot["failed"] = sorted(r.request_id for r in result.failed)
+        snapshot["lost_tokens"] = result.lost_tokens
+        snapshot["retries"] = result.retries
+        snapshot["migrations"] = result.migrations
+        snapshot["faults"] = [
+            (e.time, e.kind, e.replica, tuple(sorted(e.detail.items())))
+            for e in result.fault_events
+        ]
+    return snapshot
 
 
 def _hash_parts(parts: list[str]) -> str:
@@ -252,6 +268,7 @@ def _make_cluster(
     capacity_scale: float | None = None,
     chunked_prefill_tokens: int | None = 8192,
     autoscaler: Autoscaler | None = None,
+    faults: FaultPlan | None = None,
     tracer: Tracer | None = None,
 ) -> ClusterSimulator:
     """Cluster factory shared by the fleet scenarios.
@@ -272,6 +289,7 @@ def _make_cluster(
         capacity_scale=capacity_scale,
         chunked_prefill_tokens=chunked_prefill_tokens,
         autoscaler=autoscaler,
+        faults=faults,
         fast_path=fast_path,
         tracer=tracer,
     )
@@ -452,6 +470,54 @@ def _fig13_fairness_scenario(
     return elapsed, _hash_parts(parts), jump.summary()
 
 
+def _fig14_fault_plan() -> FaultPlan:
+    """The fig14 chaos plan: two crashes and one straggler mid-burst.
+
+    Shared by this harness, the fig14 recovery benchmark, and CI's
+    chaos-smoke determinism gate, so all three exercise the same seeded
+    failure schedule.
+    """
+    return FaultPlan(
+        crashes=[ReplicaCrash(time=40.0, replica=1), ReplicaCrash(time=110.0, replica=2)],
+        stragglers=[Straggler(start=60.0, duration=45.0, replica=0, slowdown=3.0)],
+        seed=23,
+        retry_policy=RetryPolicy(base_delay=0.1, max_attempts=5, seed=23),
+        replacement_warmup=15.0,
+    )
+
+
+def _fig14_failure_recovery_scenario(
+    fast_path: bool, tracer: Tracer | None = None
+) -> tuple[float, str, dict]:
+    """Failure recovery under chaos (the Figure 14 shape).
+
+    The fig10 bursty trace on a four-replica fleet, with a seeded fault plan
+    layered on top: two replica crashes (replacements boot with a 15 s
+    warm-up) and a 45 s 3x straggler window.  Crashed work re-dispatches
+    through the retry policy and dead capacity is relaunched, so the run
+    exercises every fault path — aborts, retries, replacement launches,
+    degraded-health routing — under the same fast-path-vs-reference
+    bit-identity gate as the fault-free scenarios.  FAULT events bound the
+    event-jump horizon, so this also pins that macro-steps never fuse across
+    a fault edge.
+    """
+    platform = paper_platform("7b-a100")
+    workload = _fig10_workload()
+    simulator = _make_cluster(
+        fast_path,
+        platform=platform,
+        num_replicas=4,
+        router="memory-aware",
+        token_capacity_override=platform.token_capacity // 8,
+        faults=_fig14_fault_plan(),
+        tracer=tracer,
+    )
+    start = time.perf_counter()
+    result = simulator.run_open_loop(workload)
+    elapsed = time.perf_counter() - start
+    return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="fig07_goodput_vs_clients",
@@ -482,6 +548,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="fig13_fairness",
         description="heavy-tail tenants: saturated VTC engine + throttled weighted-VTC open loop",
         run=_fig13_fairness_scenario,
+    ),
+    Scenario(
+        name="fig14_failure_recovery",
+        description="4-replica fleet under chaos: 2 crashes + 45s straggler, retries and replacements",
+        run=_fig14_failure_recovery_scenario,
     ),
 )
 

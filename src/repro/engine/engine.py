@@ -316,6 +316,45 @@ class InferenceEngine:
                 )
             )
 
+    # ------------------------------------------------------------- fault hooks
+    def abort_all(self, time: float) -> list[Request]:
+        """Kill every resident and queued request (replica crash semantics).
+
+        Frees the KV pool, aborts each request (their partial token timelines
+        stay recorded, so callers can account the work lost with them), and
+        invalidates the fast path's batch profile.  Returns the aborted
+        requests, running batch first in batch order, then the waiting queue
+        front to back.
+        """
+        aborted: list[Request] = []
+        for request in list(self.batch):
+            self.pool.free(request.request_id)
+            self.batch.remove(request)
+            request.abort(time)
+            aborted.append(request)
+        for request in self.waiting:
+            request.abort(time)
+            aborted.append(request)
+        self.waiting.clear()
+        if aborted:
+            self._batch_epoch += 1
+            self._silent_cache = None
+        return aborted
+
+    def drain_waiting(self) -> list[Request]:
+        """Remove and return the waiting queue (queue migration off a drain).
+
+        The requests stay ``QUEUED`` — they hold no KV and can be submitted
+        to another engine.  The running batch is untouched, so the silent
+        cache stays valid.  Note the scheduler is *not* told about the
+        removal; migrating work off a replica whose scheduler keeps
+        cross-request state (e.g. VTC counters) leaves that state behind,
+        exactly as a real drain abandons a dying scheduler's bookkeeping.
+        """
+        drained = list(self.waiting)
+        self.waiting.clear()
+        return drained
+
     # ------------------------------------------------------------- admission
     def _scheduling_context(self, time: float) -> SchedulingContext:
         # Only built when the scheduler is actually consulted (non-empty

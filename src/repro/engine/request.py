@@ -33,6 +33,9 @@ class RequestState(enum.Enum):
     PREFILLING = "prefilling"
     DECODING = "decoding"
     FINISHED = "finished"
+    #: killed before completion (replica crash / preemption deadline); the
+    #: tokens already streamed stay recorded as the work lost with it.
+    ABORTED = "aborted"
 
 
 @dataclass
@@ -54,6 +57,8 @@ class Request:
     #: number of times the request was evicted from the running batch.
     eviction_count: int = 0
     finish_time: float | None = None
+    #: wall-clock time at which the request was aborted, if it ever was.
+    abort_time: float | None = None
 
     def __post_init__(self) -> None:
         # The spec is immutable; snapshot the hot-path token count so the
@@ -159,6 +164,19 @@ class Request:
             raise ValueError(f"cannot finish request in state {self.state}")
         self.state = RequestState.FINISHED
         self.finish_time = time
+
+    def abort(self, time: float) -> None:
+        """Kill the request before completion (replica crash / preemption).
+
+        Legal from any live state — queued, prefilling, or decoding — since a
+        dying replica takes its whole queue and batch with it.  The token
+        timeline is kept: ``generated_tokens`` after an abort is exactly the
+        work lost with the request.
+        """
+        if self.state in (RequestState.FINISHED, RequestState.ABORTED):
+            raise ValueError(f"cannot abort request in state {self.state}")
+        self.state = RequestState.ABORTED
+        self.abort_time = time
 
     @property
     def should_stop(self) -> bool:

@@ -1,5 +1,6 @@
-"""Metrics: latency, throughput/goodput, fairness, fleet aggregates, memory, similarity."""
+"""Metrics: latency, goodput, fairness, fleet aggregates, availability, memory, similarity."""
 
+from repro.metrics.availability import AvailabilitySummary, summarize_availability
 from repro.metrics.fairness import (
     FairnessSummary,
     TenantService,
@@ -43,6 +44,8 @@ from repro.metrics.similarity import (
 )
 
 __all__ = [
+    "AvailabilitySummary",
+    "summarize_availability",
     "FairnessSummary",
     "TenantService",
     "jains_index",

@@ -23,6 +23,10 @@ macro-step — together the two reconstruct where simulated time went without
 logging millions of silent decode steps.
 
 Fleet: replica lifecycle transitions plus the decisions that caused them.
+When a fault plan is attached (:mod:`repro.serving.faults`), the taxonomy
+grows a failure arc: ``replica.fail`` / ``replica.recover`` on the fleet
+side, and ``request.retry`` / ``request.migrate`` feeding requests back into
+the routing funnel above.
 """
 
 from __future__ import annotations
@@ -69,6 +73,16 @@ REQUEST_FINISHED = "request.finished"
 #: attrs: generated_tokens, eviction_count.
 REQUEST_EVICTED = "request.evicted"
 
+#: A fault (crash or routing error) sent the request back through the retry
+#: policy; it will re-enter routing at ``retry_at``.
+#: attrs: attempt, retry_at, cause.
+REQUEST_RETRY = "request.retry"
+
+#: A queued request was drained off a preempted replica (the event's
+#: ``replica`` field) and re-entered routing at the same instant, with no
+#: retry-attempt charge.  attrs: generated_tokens (partial output discarded).
+REQUEST_MIGRATE = "request.migrate"
+
 # ---------------------------------------------------------------- engine spans
 #: One *eventful* continuous-batching iteration (admission, finish, eviction,
 #: or prefill work).  A span: ``time`` is the iteration start, ``duration``
@@ -97,6 +111,14 @@ REPLICA_DRAIN = "replica.drain"
 #: A replica was released (drained or cancelled while warming).
 REPLICA_RETIRE = "replica.retire"
 
+#: A fault degraded or killed a replica.  attrs: cause ("crash",
+#: "preemption-deadline", or "straggler"), plus killed / lost_tokens for
+#: crashes and slowdown for stragglers.
+REPLICA_FAIL = "replica.fail"
+
+#: A degraded replica returned to full health (straggler window closed).
+REPLICA_RECOVER = "replica.recover"
+
 #: The autoscaler evaluated its policy.  attrs: target, provisioned, active,
 #: warming, draining, saturation_rate, arrival_rate.
 AUTOSCALE_DECISION = "autoscale.decision"
@@ -114,11 +136,15 @@ EVENT_TAXONOMY: dict[str, str] = {
     REQUEST_FIRST_TOKEN: "prefill completed; first token delivered",
     REQUEST_FINISHED: "generation completed",
     REQUEST_EVICTED: "request evicted back to the waiting queue",
+    REQUEST_RETRY: "fault sent the request back through the retry policy",
+    REQUEST_MIGRATE: "queued request migrated off a preempted replica",
     ENGINE_STEP: "eventful continuous-batching iteration (span)",
     ENGINE_JUMP: "event-jump macro-step of fused iterations (span)",
     REPLICA_LAUNCH: "replica launched (cold engine)",
     REPLICA_ACTIVATE: "replica finished warm-up and became routable",
     REPLICA_DRAIN: "replica began draining resident work",
     REPLICA_RETIRE: "replica released",
+    REPLICA_FAIL: "fault degraded or killed a replica",
+    REPLICA_RECOVER: "degraded replica returned to full health",
     AUTOSCALE_DECISION: "autoscaler evaluated its sizing policy",
 }

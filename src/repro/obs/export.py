@@ -44,10 +44,14 @@ _INSTANT_EVENTS = {
     ev.REQUEST_REJECTED,
     ev.REQUEST_DEFERRED,
     ev.REQUEST_EVICTED,
+    ev.REQUEST_RETRY,
+    ev.REQUEST_MIGRATE,
     ev.REPLICA_LAUNCH,
     ev.REPLICA_ACTIVATE,
     ev.REPLICA_DRAIN,
     ev.REPLICA_RETIRE,
+    ev.REPLICA_FAIL,
+    ev.REPLICA_RECOVER,
     ev.AUTOSCALE_DECISION,
 }
 
@@ -81,7 +85,8 @@ def derive_request_phases(source: Iterable[TraceEvent] | str | Path) -> list[Req
     to admission, ``prefill`` from admission to the first token, ``decode``
     from the first token to completion.  An eviction closes the open phase
     and reopens ``queued``, so re-queued requests contribute one interval per
-    residency.  Phases still open when the trace ends are clamped to the last
+    residency; fault retries and migrations do the same but back at the
+    fleet level.  Phases still open when the trace ends are clamped to the last
     event time and flagged ``complete=False``.
     """
     events = iter_events(source)
@@ -113,10 +118,14 @@ def derive_request_phases(source: Iterable[TraceEvent] | str | Path) -> list[Req
             if rid in open_phase:
                 close(event.time)
             open_phase[rid] = ("decode", event.time, event.replica)
-        elif event.name == ev.REQUEST_EVICTED:
+        elif event.name in (ev.REQUEST_EVICTED, ev.REQUEST_RETRY, ev.REQUEST_MIGRATE):
+            # Eviction re-queues on the same replica; fault retries and
+            # migrations send the request back to the router (replica unknown
+            # until the next request.queued refines it).
             if rid in open_phase:
                 close(event.time)
-            open_phase[rid] = ("queued", event.time, event.replica)
+            replica = event.replica if event.name == ev.REQUEST_EVICTED else None
+            open_phase[rid] = ("queued", event.time, replica)
         elif event.name in (ev.REQUEST_FINISHED, ev.REQUEST_THROTTLED, ev.REQUEST_REJECTED):
             # Terminal outcomes close whatever was open (a throttled or
             # rejected request closes the queued span opened at submission).

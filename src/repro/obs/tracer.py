@@ -158,9 +158,19 @@ class JsonlTracer(Tracer):
     """Streaming tracer appending one JSON object per event to a file.
 
     The file is opened lazily on the first emission (so constructing a tracer
-    never touches the filesystem) and flushed on :meth:`close`.  Lines are
-    self-contained JSON objects in emission order — the interchange format of
-    :func:`read_jsonl_trace`, ``tools/trace_report.py``, and
+    never touches the filesystem).  Each event is serialised to a complete
+    line *before* anything is written, delivered in a single ``write``, and
+    flushed immediately — so a simulation that dies mid-run (or a chaos
+    experiment that crashes on purpose) leaves a trace of whole records, never
+    a truncated half-line.  Use the tracer as a context manager to guarantee
+    the file is closed even when the traced run raises::
+
+        with JsonlTracer("run.jsonl") as tracer:
+            simulator = ClusterSimulator(..., tracer=tracer)
+            simulator.run(...)
+
+    Lines are self-contained JSON objects in emission order — the interchange
+    format of :func:`read_jsonl_trace`, ``tools/trace_report.py``, and
     :func:`repro.obs.export.export_chrome_trace`.
 
     Args:
@@ -174,13 +184,21 @@ class JsonlTracer(Tracer):
         self.emitted = 0
 
     def emit(self, event: TraceEvent) -> None:
-        """Serialise and append one event."""
+        """Serialise and append one event as one atomic, flushed line."""
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("w")
-        json.dump(event.to_json(), self._file, separators=(",", ":"))
-        self._file.write("\n")
+        # Serialise fully before touching the file: a failing to_json/dumps
+        # (e.g. a non-serialisable attr) must not leave a partial record.
+        line = json.dumps(event.to_json(), separators=(",", ":")) + "\n"
+        self._file.write(line)
+        self._file.flush()
         self.emitted += 1
+
+    def flush(self) -> None:
+        """Push buffered lines to disk without closing (no-op when unopened)."""
+        if self._file is not None:
+            self._file.flush()
 
     def close(self) -> None:
         """Flush and close the output file (idempotent)."""

@@ -9,18 +9,27 @@ argument meant for a different component — and deserve the same helpful
 errors everywhere:
 
 * an unknown name lists the registered names (sorted, so the message is
-  deterministic and grep-able), and
+  deterministic and grep-able) and suggests the closest match for likely
+  typos, and
 * an unknown keyword argument is rejected *before* the constructor runs,
-  listing the keywords the chosen factory actually accepts, instead of
-  surfacing as a bare ``TypeError`` from deep inside ``__init__``.
+  listing the keywords the chosen factory actually accepts (with a
+  did-you-mean suggestion), instead of surfacing as a bare ``TypeError``
+  from deep inside ``__init__``.
 """
 
 from __future__ import annotations
 
+import difflib
 import inspect
-from typing import Callable, Mapping, TypeVar
+from typing import Callable, Iterable, Mapping, TypeVar
 
 T = TypeVar("T")
+
+
+def _suggestion(unknown: str, known: Iterable[str]) -> str:
+    """``"; did you mean 'x'?"`` for the closest known name, or ``""``."""
+    matches = difflib.get_close_matches(unknown, list(known), n=1, cutoff=0.6)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
 
 
 def accepted_kwargs(factory: Callable[..., object]) -> list[str] | None:
@@ -69,7 +78,9 @@ def instantiate(
         factory = registry[name]
     except KeyError:
         known = ", ".join(sorted(registry))
-        raise KeyError(f"unknown {kind} {name!r}; known: {known}") from None
+        raise KeyError(
+            f"unknown {kind} {name!r}; known: {known}{_suggestion(name, registry)}"
+        ) from None
     accepted = accepted_kwargs(factory)
     if accepted is not None:
         unknown = sorted(set(kwargs) - set(accepted))
@@ -77,5 +88,6 @@ def instantiate(
             raise TypeError(
                 f"{kind} {name!r} got unexpected keyword arguments "
                 f"{unknown}; accepted: {sorted(accepted)}"
+                f"{_suggestion(unknown[0], accepted)}"
             )
     return factory(**kwargs)

@@ -36,6 +36,13 @@ engine, empty scheduler history, not routable) before activating, and
 scale-down *drains* a replica — no new placements, resident work runs to
 completion, then the replica retires — so admitted requests are never
 dropped.
+
+The fault subsystem (:mod:`repro.serving.faults`) rides the same launch
+machinery: a crashed replica's replacement is a fresh launch with the plan's
+``replacement_warmup`` instead of the autoscaler's ``warmup_delay``, and dead
+or draining replicas drop out of the routable :class:`FleetView` exactly like
+an autoscaler drain — so policies automatically size around failures they
+were never told about.
 """
 
 from __future__ import annotations

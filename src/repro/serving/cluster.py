@@ -26,20 +26,26 @@ counts), and ``defer`` parks it for a later routing attempt (the simulator
 re-runs the decision at ``retry_at``; the request's arrival timestamp — and
 therefore its TTFT — still counts from the original arrival).
 
-The simulation is event-driven over five event types:
+The simulation is event-driven over six event types:
 
 1. **warm-up completion** — a launched replica finishes its warm-up delay and
    becomes routable;
-2. **autoscale decision** — the autoscaler evaluates its policy on the fixed
+2. **fault action** — an instant of the attached
+   :class:`~repro.serving.faults.FaultPlan` arrives: a replica crash (all
+   resident and queued work aborted and, under the plan's
+   :class:`~repro.serving.faults.RetryPolicy`, re-dispatched), a spot-style
+   preemption notice (drain plus queue migration) or its deadline, or a
+   straggler window boundary (cost-model slowdown on/off);
+3. **autoscale decision** — the autoscaler evaluates its policy on the fixed
    decision interval; scale-up launches warming replicas, scale-down drains
    the least-loaded active replica (no new placements, resident work runs to
    completion, then it retires);
-3. **arrival** — the next request of the load generator arrives and the
+4. **arrival** — the next request of the load generator arrives and the
    router decides its fate over a :class:`~repro.serving.routing.ReplicaView`
    per *routable* replica;
-4. **defer retry** — a previously deferred request reaches its ``retry_at``
-   instant and is routed again;
-5. **replica step** — the replica with the earliest local clock among those
+5. **defer retry** — a previously deferred, retried, or migrated request
+   reaches its ``retry_at`` instant and is routed again;
+6. **replica step** — the replica with the earliest local clock among those
    with work (active or draining) runs one continuous-batching iteration,
    advancing its clock by the iteration's modelled latency.
 
@@ -71,6 +77,21 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import create_scheduler
 from repro.serving.autoscale import Autoscaler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
+from repro.serving.faults import (
+    HEALTH_DEAD,
+    HEALTH_DEGRADED,
+    HEALTH_DRAINING,
+    HEALTH_HEALTHY,
+    REASON_NO_REPLICAS,
+    REASON_REPLICA_CRASH,
+    REASON_RETRIES_EXHAUSTED,
+    REASON_ROUTING_ERROR,
+    REASON_UNROUTED,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    SlowdownCostModel,
+)
 from repro.serving.results import ClusterResult, RunResult
 from repro.serving.routing import (
     REASON_SATURATED,
@@ -95,6 +116,9 @@ class ReplicaState(enum.Enum):
     DRAINING = "draining"
     #: fully drained and released; accrues no further replica-seconds.
     RETIRED = "retired"
+    #: crashed (or preemption deadline expired); its in-flight work was
+    #: aborted and it accrues no further replica-seconds.
+    DEAD = "dead"
 
 
 @dataclass
@@ -112,6 +136,10 @@ class _Replica:
     clock: float = 0.0
     idle_streak: int = 0
     requests: list[Request] = field(default_factory=list)
+    #: fault-injection health state (see :mod:`repro.serving.faults`).
+    health: str = HEALTH_HEALTHY
+    #: original cost model while a straggler slowdown wrapper is installed.
+    saved_cost_model: CostModel | None = None
 
     @property
     def routable(self) -> bool:
@@ -149,6 +177,7 @@ class _Replica:
             waiting_remaining_cap_tokens=tuple(r.remaining_cap_tokens for r in waiting),
             platform=self.platform,
             speed_factor=self.speed_factor,
+            health=self.health,
         )
 
 
@@ -230,6 +259,13 @@ class ClusterSimulator:
             ``engine.jump`` spans tagged with its replica index.  The
             default :class:`~repro.obs.tracer.NullTracer` keeps runs
             byte-identical to untraced ones.
+        faults: optional seeded failure schedule (see
+            :mod:`repro.serving.faults`): replica crashes, spot-style
+            preemptions with drain windows, straggler slowdowns, and
+            transient routing errors, plus the plan's retry/migration/
+            replacement recovery knobs.  ``None`` (the default) keeps every
+            replica perfectly reliable and runs byte-identical to builds
+            that predate fault injection.
     """
 
     def __init__(
@@ -253,6 +289,7 @@ class ClusterSimulator:
         fast_path: bool = True,
         throttle: OverloadThrottle | None = None,
         tracer: Tracer | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if (platform is None) == (platforms is None):
             raise ValueError("exactly one of platform / platforms is required")
@@ -325,6 +362,18 @@ class ClusterSimulator:
         self._deferred_releases = 0
         self._throttle_releases = 0
         self._consumed = False
+        # Fault injection (see repro.serving.faults).  With faults=None every
+        # code path below is byte-identical to the pre-fault simulator: no
+        # FAULT events enter the loop, no per-arrival error check runs, and
+        # all fault counters stay at their zero defaults.
+        self.fault_plan = faults
+        self._fault_injector = FaultInjector(faults) if faults is not None else None
+        self.failed: list[Request] = []
+        self.retries = 0
+        self.migrations = 0
+        self.lost_tokens = 0
+        self.fault_log: list[FaultEvent] = []
+        self._retry_attempts: dict[str, int] = {}
 
     # ------------------------------------------------------------------ state
     @property
@@ -558,7 +607,273 @@ class ClusterSimulator:
             )
         self._apply_autoscale_target(target, time)
 
+    # ----------------------------------------------------------------- faults
+    def _apply_faults(self, time: float) -> None:
+        """Apply every fault action of the plan scheduled at or before ``time``."""
+        injector = self._fault_injector
+        assert injector is not None
+        for action in injector.pop_due(time):
+            if not 0 <= action.replica < len(self.replicas):
+                self.fault_log.append(
+                    FaultEvent(
+                        time=time,
+                        kind=f"skipped:{action.kind}",
+                        replica=action.replica,
+                        detail={"reason": "no-such-replica"},
+                    )
+                )
+                continue
+            replica = self.replicas[action.replica]
+            if action.kind == "crash":
+                if replica.state not in (ReplicaState.RETIRED, ReplicaState.DEAD):
+                    self._crash_replica(replica, time, cause="crash")
+            elif action.kind == "preempt":
+                if replica.state is ReplicaState.ACTIVE:
+                    self._preempt_replica(replica, time, action.fault)
+            elif action.kind == "preempt-deadline":
+                # Only fires if the drain did not complete in time; a replica
+                # that finished its resident work already retired gracefully.
+                if replica.state is ReplicaState.DRAINING and replica.engine.has_work():
+                    self._crash_replica(replica, time, cause="preemption-deadline")
+            elif action.kind == "straggler-start":
+                if replica.steppable or replica.state is ReplicaState.WARMING:
+                    self._begin_straggler(replica, time, action.fault)
+            elif action.kind == "straggler-end":
+                self._end_straggler(replica, time)
+
+    def _crash_replica(self, replica: _Replica, time: float, cause: str) -> None:
+        """Kill ``replica``: abort its work, mark it dead, recover what we can.
+
+        Aborted requests leave the replica's per-replica accounting and move
+        to the cluster-level ``failed`` list (their partial tokens count as
+        lost work); under a retry policy each one is re-dispatched through
+        the defer heap, otherwise it is rejected with a typed reason.  A
+        cold replacement launches immediately when the plan asks for one.
+        """
+        assert self.fault_plan is not None
+        was_warming = replica.state is ReplicaState.WARMING
+        aborted = replica.engine.abort_all(time)
+        if aborted:
+            aborted_ids = {id(request) for request in aborted}
+            replica.requests = [r for r in replica.requests if id(r) not in aborted_ids]
+        lost = sum(request.generated_tokens for request in aborted)
+        self.lost_tokens += lost
+        self.failed.extend(aborted)
+        replica.state = ReplicaState.DEAD
+        replica.health = HEALTH_DEAD
+        replica.retired_at = max(replica.clock, time)
+        self._record_fleet_sample(time)
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REPLICA_FAIL,
+                    time,
+                    replica=replica.index,
+                    attrs={"cause": cause, "killed": len(aborted), "lost_tokens": lost},
+                )
+            )
+        replacement = None
+        if self.fault_plan.replace_crashed and not was_warming:
+            replacement = self._launch_replica(
+                time, warmup_delay=self.fault_plan.replacement_warmup
+            )
+        self.fault_log.append(
+            FaultEvent(
+                time=time,
+                kind=cause,
+                replica=replica.index,
+                detail={
+                    "killed": len(aborted),
+                    "lost_tokens": lost,
+                    "replacement": replacement.index if replacement is not None else None,
+                },
+            )
+        )
+        for request in aborted:
+            self._redispatch(
+                request.spec,
+                request.arrival_time,
+                time,
+                cause=cause,
+                no_retry_reason=REASON_REPLICA_CRASH,
+            )
+
+    def _preempt_replica(self, replica: _Replica, time: float, fault) -> None:
+        """Spot-style preemption notice: stop placements, drain, migrate queue."""
+        assert self.fault_plan is not None
+        replica.state = ReplicaState.DRAINING
+        replica.health = HEALTH_DRAINING
+        migrated = replica.engine.drain_waiting() if self.fault_plan.migrate_on_drain else []
+        if migrated:
+            migrated_ids = {id(request) for request in migrated}
+            replica.requests = [r for r in replica.requests if id(r) not in migrated_ids]
+            for request in migrated:
+                # Evictees in the queue lose their streamed-so-far progress
+                # with the migration (the target replica starts them cold).
+                self.lost_tokens += request.generated_tokens
+                self.migrations += 1
+                if self._tracing:
+                    self.tracer.emit(
+                        TraceEvent(
+                            obs.REQUEST_MIGRATE,
+                            time,
+                            request_id=request.request_id,
+                            replica=replica.index,
+                            attrs={"generated_tokens": request.generated_tokens},
+                        )
+                    )
+                # retry_at == time: the RETRY event fires at this same
+                # instant, right after any arrival, so migrated work re-routes
+                # with zero added latency and no retry-attempt charge.
+                heapq.heappush(
+                    self._deferred_heap,
+                    _DeferredArrival(
+                        retry_at=time,
+                        sequence=self._defer_sequence,
+                        spec=request.spec,
+                        arrived_at=request.arrival_time,
+                    ),
+                )
+                self._defer_sequence += 1
+        self._record_fleet_sample(time)
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REPLICA_DRAIN,
+                    time,
+                    replica=replica.index,
+                    attrs={
+                        "cause": "preemption",
+                        "notice": fault.notice,
+                        "running": replica.engine.num_running,
+                        "migrated": len(migrated),
+                    },
+                )
+            )
+        self.fault_log.append(
+            FaultEvent(
+                time=time,
+                kind="preemption",
+                replica=replica.index,
+                detail={"notice": fault.notice, "migrated": len(migrated)},
+            )
+        )
+        if not replica.engine.has_work():
+            self._retire(replica, time)
+
+    def _begin_straggler(self, replica: _Replica, time: float, fault) -> None:
+        """Install the slowdown wrapper and mark the replica degraded."""
+        if replica.saved_cost_model is not None:
+            return  # overlapping windows: the first slowdown stays in force
+        replica.saved_cost_model = replica.engine.cost_model
+        replica.engine.cost_model = SlowdownCostModel(replica.engine.cost_model, fault.slowdown)
+        if replica.health == HEALTH_HEALTHY:
+            replica.health = HEALTH_DEGRADED
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REPLICA_FAIL,
+                    time,
+                    replica=replica.index,
+                    attrs={"cause": "straggler", "slowdown": fault.slowdown},
+                )
+            )
+        self.fault_log.append(
+            FaultEvent(
+                time=time,
+                kind="straggler-start",
+                replica=replica.index,
+                detail={"slowdown": fault.slowdown, "duration": fault.duration},
+            )
+        )
+
+    def _end_straggler(self, replica: _Replica, time: float) -> None:
+        """Restore the replica's true cost model and healthy state."""
+        if replica.saved_cost_model is None:
+            return  # never started (e.g. the replica crashed mid-window)
+        replica.engine.cost_model = replica.saved_cost_model
+        replica.saved_cost_model = None
+        if replica.health == HEALTH_DEGRADED:
+            replica.health = HEALTH_HEALTHY
+        if self._tracing:
+            self.tracer.emit(TraceEvent(obs.REPLICA_RECOVER, time, replica=replica.index))
+        self.fault_log.append(
+            FaultEvent(time=time, kind="straggler-end", replica=replica.index)
+        )
+
+    def _redispatch(
+        self,
+        spec: RequestSpec,
+        arrived_at: float,
+        now: float,
+        cause: str,
+        no_retry_reason: str,
+    ) -> None:
+        """Re-dispatch work lost to a fault, or reject it with a typed reason.
+
+        Consults the plan's :class:`~repro.serving.faults.RetryPolicy` for
+        this request's next backoff; a ``None`` policy (recovery disabled)
+        rejects with ``no_retry_reason``, an exhausted attempt budget with
+        :data:`~repro.serving.faults.REASON_RETRIES_EXHAUSTED`.
+        """
+        policy = self.fault_plan.retry_policy if self.fault_plan is not None else None
+        attempt = self._retry_attempts.get(spec.request_id, 0)
+        delay = policy.delay(spec.request_id, attempt) if policy is not None else None
+        if delay is None:
+            reason = no_retry_reason if policy is None else REASON_RETRIES_EXHAUSTED
+            self._reject_spec(spec, now, arrived_at, reason)
+            return
+        self._retry_attempts[spec.request_id] = attempt + 1
+        self.retries += 1
+        retry_at = now + delay
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_RETRY,
+                    now,
+                    request_id=spec.request_id,
+                    attrs={"attempt": attempt + 1, "retry_at": retry_at, "cause": cause},
+                )
+            )
+        heapq.heappush(
+            self._deferred_heap,
+            _DeferredArrival(
+                retry_at=retry_at,
+                sequence=self._defer_sequence,
+                spec=spec,
+                arrived_at=arrived_at,
+            ),
+        )
+        self._defer_sequence += 1
+
     # ---------------------------------------------------------------- routing
+    def _reject_spec(
+        self,
+        spec: RequestSpec,
+        now: float,
+        arrived_at: float,
+        reason: str,
+        candidates: int = 0,
+    ) -> None:
+        """Record one rejected request under ``reason`` and release its slot."""
+        self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
+        self.reject_reasons[reason] += 1
+        if self._tracing:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.REQUEST_REJECTED,
+                    now,
+                    request_id=spec.request_id,
+                    attrs={"reason": reason, "candidates": candidates},
+                )
+            )
+        # The client's slot must be released or a closed-loop pool would
+        # deadlock — but not at this same instant: views only change when
+        # a replica steps, so an immediate release would re-inject (and
+        # re-reject) the client's next request in a zero-time cascade.
+        # Release it after the next completed iteration, when the fleet
+        # has actually made progress.
+        self._deferred_releases += 1
     def _route_arrival(
         self,
         spec: RequestSpec,
@@ -610,8 +925,45 @@ class ClusterSimulator:
                 # Drained by the caller (the arrival loop owns the generator).
                 self._throttle_releases += 1
                 return
+        if self._fault_injector is not None:
+            # Transient routing errors: a deterministic per-(request, attempt)
+            # coin decides whether this routing attempt is dropped by the
+            # control plane.  Dropped attempts re-enter via the retry policy.
+            attempt = self._retry_attempts.get(spec.request_id, 0)
+            if self._fault_injector.routing_error(spec.request_id, now, attempt):
+                self._redispatch(
+                    spec,
+                    arrived_at,
+                    now,
+                    cause="routing-error",
+                    no_retry_reason=REASON_ROUTING_ERROR,
+                )
+                return
         routable = {replica.index: replica for replica in self.active_replicas}
         views = [replica.snapshot() for replica in routable.values()]
+        if not views:
+            # Only reachable under fault injection: without faults at least
+            # one replica is always active whenever arrivals exist.  Wait for
+            # warming capacity (a crash replacement or autoscaler launch) if
+            # any is coming, otherwise reject with a typed reason.
+            warming = [r for r in self.replicas if r.state is ReplicaState.WARMING]
+            if warming:
+                # Warm-up completions outrank arrivals/retries at equal
+                # times, so a warming replica seen here always has
+                # ready_at strictly in the future.
+                heapq.heappush(
+                    self._deferred_heap,
+                    _DeferredArrival(
+                        retry_at=min(r.ready_at for r in warming),
+                        sequence=self._defer_sequence,
+                        spec=spec,
+                        arrived_at=arrived_at,
+                    ),
+                )
+                self._defer_sequence += 1
+                return
+            self._reject_spec(spec, now, arrived_at, REASON_NO_REPLICAS)
+            return
         if first_attempt and self.autoscaler is not None and views:
             saturated = sum(1 for v in views if v.saturated) / len(views)
             self.autoscaler.note_arrival(now, saturated, spec.prompt_tokens)
@@ -623,27 +975,9 @@ class ClusterSimulator:
         else:
             decision = self.router.decide(spec, views, now)
         if decision.is_reject:
-            self.rejected.append(Request(spec=spec, arrival_time=arrived_at))
-            self.reject_reasons[decision.reason or "unspecified"] += 1
-            if self._tracing:
-                self.tracer.emit(
-                    TraceEvent(
-                        obs.REQUEST_REJECTED,
-                        now,
-                        request_id=spec.request_id,
-                        attrs={
-                            "reason": decision.reason or "unspecified",
-                            "candidates": len(views),
-                        },
-                    )
-                )
-            # The client's slot must be released or a closed-loop pool would
-            # deadlock — but not at this same instant: views only change when
-            # a replica steps, so an immediate release would re-inject (and
-            # re-reject) the client's next request in a zero-time cascade.
-            # Release it after the next completed iteration, when the fleet
-            # has actually made progress.
-            self._deferred_releases += 1
+            self._reject_spec(
+                spec, now, arrived_at, decision.reason or "unspecified", candidates=len(views)
+            )
             return
         if decision.is_defer:
             assert decision.retry_at is not None
@@ -733,11 +1067,13 @@ class ClusterSimulator:
         total_steps = 0
 
         # Event priorities at equal times: warm-ups complete first (a replica
-        # ready at t may serve an arrival at t), decisions see the pre-arrival
-        # fleet, arrivals join before retries of older deferred requests, and
-        # both join before the step at the same instant (matching
-        # ServingSimulator's "arrivals <= now join this batch").
-        READY, DECIDE, ARRIVAL, RETRY, STEP = 0, 1, 2, 3, 4
+        # ready at t may serve an arrival at t), fault actions land next (so
+        # decisions, arrivals, and retries all see the post-fault fleet),
+        # decisions see the pre-arrival fleet, arrivals join before retries
+        # of older deferred requests, and all join before the step at the
+        # same instant (matching ServingSimulator's "arrivals <= now join
+        # this batch").
+        READY, FAULT, DECIDE, ARRIVAL, RETRY, STEP = 0, 1, 2, 3, 4, 5
 
         while True:
             next_arrival = generator.next_arrival_time()
@@ -754,6 +1090,13 @@ class ClusterSimulator:
             warming = [r for r in self.replicas if r.state is ReplicaState.WARMING]
             if warming:
                 events.append((min(r.ready_at for r in warming), READY))
+            if self._fault_injector is not None:
+                fault_time = self._fault_injector.next_event_time()
+                if fault_time is not None:
+                    # Fault actions are loop events, so they automatically
+                    # bound every replica's event-jump horizon: a macro-step
+                    # can never fuse past a crash/preemption/straggler edge.
+                    events.append((fault_time, FAULT))
             if self.autoscaler is not None:
                 events.append((self.autoscaler.next_decision_time, DECIDE))
             if next_arrival is not None:
@@ -766,6 +1109,9 @@ class ClusterSimulator:
 
             if kind == READY:
                 self._activate_ready(time)
+                continue
+            if kind == FAULT:
+                self._apply_faults(time)
                 continue
             if kind == DECIDE:
                 self._run_autoscale_decision(time)
@@ -872,6 +1218,14 @@ class ClusterSimulator:
                 break
 
         makespan = max((r.clock for r in self.replicas), default=0.0)
+        # Deferred requests still parked after the loop ends can only exist
+        # on abnormal termination (step/time limits, stall guard) — a normal
+        # drain requires an empty heap.  They must not vanish from
+        # accounting: stamp each one into the rejected set with a typed
+        # reason so routed + rejected still equals submitted.
+        while self._deferred_heap:
+            leftover = heapq.heappop(self._deferred_heap)
+            self._reject_spec(leftover.spec, makespan, leftover.arrived_at, REASON_UNROUTED)
         self._record_fleet_sample(makespan)
         replica_results = [
             RunResult(
@@ -904,6 +1258,12 @@ class ClusterSimulator:
             lifetimes=[replica.lifetime() for replica in self.replicas],
             deferrals=self.deferrals,
             reject_reasons=dict(self.reject_reasons),
+            failed=list(self.failed),
+            retries=self.retries,
+            migrations=self.migrations,
+            lost_tokens=self.lost_tokens,
+            fault_events=list(self.fault_log),
+            fault_plan=self.fault_plan.describe() if self.fault_plan is not None else None,
         )
 
     def run_closed_loop(

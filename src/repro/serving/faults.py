@@ -1,0 +1,400 @@
+"""Seeded, deterministic fault injection for cluster serving.
+
+Every replica the simulator launches is perfectly reliable by default, which
+makes the fleet a poor testbed for the availability questions production
+serving actually faces: GPUs fall over mid-decode, spot instances get
+preempted with a notice window, one card silently runs 3x slow, and the
+control plane drops a routing RPC now and then.  This module models those
+four failure classes as *data*, so a run with faults is exactly as
+reproducible as a run without:
+
+* :class:`ReplicaCrash` — a replica dies at an instant; every in-flight and
+  queued request on it is aborted (partial tokens are accounted as lost
+  work) and, under a :class:`RetryPolicy`, re-dispatched through the
+  router's defer path.
+* :class:`Preemption` — a spot-style advance notice: the replica stops
+  accepting placements and drains; queued work migrates off immediately,
+  and whatever is still resident when the notice window expires is killed
+  exactly like a crash.
+* :class:`Straggler` — a transient slowdown window multiplying the
+  replica's cost model by a factor; the replica is marked ``degraded`` so
+  health-aware routers steer around it.
+* :class:`RoutingErrorWindow` — a window during which each routing attempt
+  fails with a given probability (decided by a seeded hash of the request
+  id and attempt number, never by RNG-stream order), forcing the retry
+  machinery even without any replica dying.
+
+The determinism contract (see ``docs/resilience.md``): a
+:class:`FaultPlan` is a pure value — the injector derives every fault time
+at construction and every probabilistic decision from
+``sha256(seed, request_id, attempt)``, so two runs of the same plan over the
+same workload are bit-identical, and a run with ``faults=None`` is
+byte-identical to one built before this module existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.cost_model import CostModel, StepWork
+
+# --------------------------------------------------------------------- health
+#: Replica serving normally.
+HEALTH_HEALTHY = "healthy"
+#: Replica serving but impaired (e.g. inside a straggler window).
+HEALTH_DEGRADED = "degraded"
+#: Replica finishing resident work before retiring; not routable.
+HEALTH_DRAINING = "draining"
+#: Replica crashed (or preemption deadline expired); never returns.
+HEALTH_DEAD = "dead"
+
+#: All health states, in decreasing order of routability.
+HEALTH_STATES = (HEALTH_HEALTHY, HEALTH_DEGRADED, HEALTH_DRAINING, HEALTH_DEAD)
+
+# -------------------------------------------------------------- typed reasons
+#: Reject reason for work lost to a replica crash with no retry policy.
+REASON_REPLICA_CRASH = "replica-crash"
+#: Reject reason for a routing attempt dropped by a routing-error window
+#: with no retry policy attached.
+REASON_ROUTING_ERROR = "routing-error"
+#: Reject reason when a request's retry attempt budget is exhausted.
+REASON_RETRIES_EXHAUSTED = "retries-exhausted"
+#: Reject reason for deferred requests still parked when the run terminates
+#: abnormally (step/time limits, stall guard) — they must land in
+#: ``reject_reasons`` rather than vanish from accounting.
+REASON_UNROUTED = "unrouted-at-end"
+#: Reject reason when an arrival finds no routable replica and none warming.
+REASON_NO_REPLICAS = "no-replicas"
+
+
+def hash_fraction(*parts: object) -> float:
+    """Uniform fraction in ``[0, 1)`` derived from a sha256 of ``parts``.
+
+    The basis of every probabilistic fault decision: keyed on stable
+    identifiers (seed, request id, attempt number) rather than an RNG
+    stream, so the outcome for one request cannot depend on how many draws
+    *other* requests consumed before it.
+    """
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+# ----------------------------------------------------------------- fault specs
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """Kill replica ``replica`` at fleet-clock ``time``."""
+
+    time: float
+    replica: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("crash time must be non-negative")
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """Spot-style preemption: drain notice at ``time``, kill at ``time + notice``.
+
+    The replica stops accepting placements at ``time`` (queued work migrates
+    off it when the plan's ``migrate_on_drain`` is set); resident work that
+    has not finished by the deadline is aborted exactly like a crash.
+    """
+
+    time: float
+    replica: int
+    notice: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("preemption time must be non-negative")
+        if self.notice <= 0:
+            raise ValueError("preemption notice must be positive")
+
+    @property
+    def deadline(self) -> float:
+        """Instant at which still-resident work is killed."""
+        return self.time + self.notice
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply replica ``replica``'s iteration cost by ``slowdown`` for a window."""
+
+    start: float
+    duration: float
+    replica: int
+    slowdown: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("straggler start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("straggler duration must be positive")
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must exceed 1.0 (1.0 is a healthy replica)")
+
+    @property
+    def end(self) -> float:
+        """Instant at which the replica recovers full speed."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class RoutingErrorWindow:
+    """A window during which each routing attempt fails with ``error_rate``.
+
+    Failure is decided per ``(request_id, attempt)`` via :func:`hash_fraction`
+    — deterministic, order-independent, and different across retry attempts
+    so a retried request is not doomed to hit the same error forever.
+    """
+
+    start: float
+    duration: float
+    error_rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("window start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("window duration must be positive")
+        if not 0.0 < self.error_rate <= 1.0:
+            raise ValueError("error_rate must be in (0, 1]")
+
+    def covers(self, time: float) -> bool:
+        """Whether ``time`` falls inside the half-open window ``[start, end)``."""
+        return self.start <= time < self.start + self.duration
+
+
+# ---------------------------------------------------------------- retry policy
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attempt ``k`` (0-based) waits ``min(base_delay * multiplier**k,
+    max_delay)`` seconds, plus a jitter fraction drawn from
+    :func:`hash_fraction` of the seed, request id, and attempt — so two runs
+    of the same plan back off identically, and reordering unrelated requests
+    cannot shift anyone's delays.  ``delay`` returns ``None`` once the
+    attempt budget is exhausted; the cluster then rejects the request with
+    :data:`REASON_RETRIES_EXHAUSTED`.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    max_attempts: int = 4
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError("base_delay must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, request_id: str, attempt: int) -> float | None:
+        """Backoff before retry number ``attempt`` (0-based), or ``None``.
+
+        ``None`` means the budget is spent: ``attempt`` of ``max_attempts``
+        retries have already been dispatched for this request.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        backoff = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * hash_fraction(self.seed, request_id, attempt)
+        return backoff
+
+    def describe(self) -> str:
+        """One-line summary for result tables."""
+        return (
+            f"retry(base={self.base_delay:g}s x{self.multiplier:g} "
+            f"cap={self.max_delay:g}s attempts={self.max_attempts})"
+        )
+
+
+# ------------------------------------------------------------------ fault plan
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded failure schedule for one cluster run.
+
+    A pure value: attach the same plan to two simulators over the same
+    workload and the runs are bit-identical.  ``retry_policy=None`` turns
+    off recovery (lost work is rejected with typed reasons instead of
+    re-dispatched) — the "no recovery" baseline the fig14 benchmark
+    degrades.
+    """
+
+    crashes: tuple[ReplicaCrash, ...] = ()
+    preemptions: tuple[Preemption, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    routing_errors: tuple[RoutingErrorWindow, ...] = ()
+    seed: int = 0
+    retry_policy: RetryPolicy | None = field(default_factory=RetryPolicy)
+    #: migrate queued work off a preempted (draining) replica immediately.
+    migrate_on_drain: bool = True
+    #: launch a cold replacement replica the instant one crashes.
+    replace_crashed: bool = True
+    #: warm-up delay of replacement launches (seconds).
+    replacement_warmup: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomics but store tuples (frozen hashability).
+        for name in ("crashes", "preemptions", "stragglers", "routing_errors"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.replacement_warmup < 0:
+            raise ValueError("replacement_warmup must be non-negative")
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan schedules no faults at all."""
+        return not (self.crashes or self.preemptions or self.stragglers or self.routing_errors)
+
+    def describe(self) -> str:
+        """One-line plan summary for result tables and logs."""
+        parts = []
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash")
+        if self.preemptions:
+            parts.append(f"{len(self.preemptions)} preempt")
+        if self.stragglers:
+            parts.append(f"{len(self.stragglers)} straggler")
+        if self.routing_errors:
+            parts.append(f"{len(self.routing_errors)} routing-error-window")
+        schedule = ", ".join(parts) if parts else "no faults"
+        recovery = self.retry_policy.describe() if self.retry_policy else "no-retry"
+        return f"faults(seed={self.seed}: {schedule}; {recovery})"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the run's fault log (``ClusterResult.fault_events``)."""
+
+    time: float
+    kind: str
+    replica: int | None = None
+    detail: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------- fault injector
+#: Fault-action kinds, in intra-instant application order.
+_ACTION_ORDER = ("crash", "preempt-deadline", "preempt", "straggler-end", "straggler-start")
+
+
+@dataclass(frozen=True)
+class _FaultAction:
+    """One scheduled point action derived from the plan at construction."""
+
+    time: float
+    order: int
+    kind: str
+    replica: int
+    fault: object
+
+    def __lt__(self, other: "_FaultAction") -> bool:
+        return (self.time, self.order) < (other.time, other.order)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into a deterministic event timeline.
+
+    Built once per run by the cluster simulator.  Every point action (crash,
+    preemption notice, preemption deadline, straggler start/end) is derived
+    and sorted at construction, so the injection order at equal times is a
+    pure function of the plan; routing-error decisions are stateless hashes.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        actions: list[_FaultAction] = []
+
+        def add(time: float, kind: str, replica: int, fault: object) -> None:
+            actions.append(
+                _FaultAction(
+                    time=time,
+                    order=_ACTION_ORDER.index(kind) * 1_000_000 + len(actions),
+                    kind=kind,
+                    replica=replica,
+                    fault=fault,
+                )
+            )
+
+        for crash in plan.crashes:
+            add(crash.time, "crash", crash.replica, crash)
+        for preemption in plan.preemptions:
+            add(preemption.time, "preempt", preemption.replica, preemption)
+            add(preemption.deadline, "preempt-deadline", preemption.replica, preemption)
+        for straggler in plan.stragglers:
+            add(straggler.start, "straggler-start", straggler.replica, straggler)
+            add(straggler.end, "straggler-end", straggler.replica, straggler)
+        self._actions = sorted(actions)
+        self._cursor = 0
+
+    def next_event_time(self) -> float | None:
+        """Fleet-clock instant of the next scheduled fault action, if any."""
+        if self._cursor >= len(self._actions):
+            return None
+        return self._actions[self._cursor].time
+
+    def pop_due(self, time: float) -> list[_FaultAction]:
+        """Consume and return every action scheduled at or before ``time``."""
+        due: list[_FaultAction] = []
+        while self._cursor < len(self._actions) and self._actions[self._cursor].time <= time:
+            due.append(self._actions[self._cursor])
+            self._cursor += 1
+        return due
+
+    def routing_error(self, request_id: str, now: float, attempt: int) -> bool:
+        """Whether this routing attempt is dropped by an error window.
+
+        Deterministic per ``(seed, request_id, attempt)``; the attempt number
+        matters so a retried request re-rolls rather than failing forever.
+        """
+        for window in self.plan.routing_errors:
+            if window.covers(now):
+                draw = hash_fraction(self.plan.seed, "routing-error", request_id, attempt)
+                return draw < window.error_rate
+        return False
+
+
+# ------------------------------------------------------------ straggler model
+class SlowdownCostModel:
+    """Cost-model wrapper multiplying every iteration latency by a factor.
+
+    Wraps a replica's :class:`~repro.engine.cost_model.CostModel` for the
+    duration of a straggler window.  Both the scalar reference path
+    (:meth:`step_seconds`) and the vectorized fast path
+    (:meth:`decode_step_durations`) scale by the *same* float factor, so the
+    event-jump equivalence guarantee (fast == reference, bit-identical)
+    survives the slowdown.  Every other attribute proxies to the wrapped
+    model.
+    """
+
+    def __init__(self, inner: CostModel, slowdown: float) -> None:
+        if slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        self.inner = inner
+        self.slowdown = slowdown
+
+    def step_seconds(self, work: StepWork) -> float:
+        """Slowed latency of one iteration."""
+        return self.inner.step_seconds(work) * self.slowdown
+
+    def decode_step_durations(self, batch_size: int, context_tokens: int, steps: int) -> np.ndarray:
+        """Slowed per-iteration latencies for a fused decode macro-step."""
+        return self.inner.decode_step_durations(batch_size, context_tokens, steps) * self.slowdown
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

@@ -64,6 +64,7 @@ from repro.core.history import OutputLengthHistory
 from repro.engine.request import Request
 from repro.hardware.platform import Platform
 from repro.registry import instantiate
+from repro.serving.faults import HEALTH_HEALTHY, HEALTH_STATES
 from repro.workloads.spec import RequestSpec
 
 
@@ -178,6 +179,13 @@ class ReplicaView:
             fleet (1.0 for the fastest; see
             :meth:`repro.engine.cost_model.CostModel.relative_speed`).
             Homogeneous fleets carry 1.0 everywhere.
+        health: the replica's health state as fault injection sees it (see
+            :mod:`repro.serving.faults`): ``healthy`` by default,
+            ``degraded`` inside a straggler window.  Routable views are never
+            ``draining`` or ``dead`` (those states leave the routable set),
+            but the field accepts all four so hand-built views can model
+            them.  Routers must respect it — the shared :meth:`Router.candidates`
+            filter prefers healthy replicas whenever any is available.
     """
 
     replica_id: int
@@ -191,8 +199,11 @@ class ReplicaView:
     waiting_remaining_cap_tokens: tuple[int, ...] = ()
     platform: Platform | None = None
     speed_factor: float = 1.0
+    health: str = HEALTH_HEALTHY
 
     def __post_init__(self) -> None:
+        if self.health not in HEALTH_STATES:
+            raise ValueError(f"health must be one of {HEALTH_STATES}, got {self.health!r}")
         if self.token_capacity <= 0:
             raise ValueError("token_capacity must be positive")
         if self.used_tokens < 0:
@@ -285,6 +296,7 @@ class ReplicaView:
             "headroom_fraction": round(self.headroom_fraction, 4),
             "saturated": self.saturated,
             "speed_factor": self.speed_factor,
+            "health": self.health,
         }
 
 
@@ -454,11 +466,19 @@ class Router(abc.ABC):
 
     @staticmethod
     def candidates(views: Sequence[ReplicaView]) -> list[ReplicaView]:
-        """Routable replicas: the non-saturated ones, or all if none is free."""
+        """Routable replicas, best health tier first, saturation filtered.
+
+        Non-saturated healthy replicas are preferred; if none exists, other
+        non-saturated replicas (e.g. ``degraded`` stragglers) are used, and
+        only a fully saturated fleet falls back to every view.  With every
+        view healthy — any run without fault injection — this is exactly the
+        historical "non-saturated or all" filter.
+        """
         if not views:
             raise ValueError("cannot route with zero replicas")
         open_replicas = [view for view in views if not view.saturated]
-        return open_replicas or list(views)
+        healthy = [view for view in open_replicas if view.health == HEALTH_HEALTHY]
+        return healthy or open_replicas or list(views)
 
     def _pick_min(
         self,

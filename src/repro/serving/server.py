@@ -12,6 +12,12 @@
 When the engine is idle but future arrivals exist, the clock jumps forward to
 the next arrival, so lightly loaded simulations do not burn iterations doing
 nothing.
+
+The single engine here is perfectly reliable: fault injection (crashes,
+preemptions, stragglers — :mod:`repro.serving.faults`) is a fleet-level
+concern, attached to :class:`~repro.serving.cluster.ClusterSimulator` via its
+``faults=`` keyword, because recovery is meaningless without other replicas
+to absorb the displaced work.
 """
 
 from __future__ import annotations

@@ -23,6 +23,14 @@ that limiter:
 Requests without a ``user_id`` bypass the user window (there is no tenant to
 attribute them to) and likewise for ``app_id`` — an untenanted workload
 passes through a configured throttle untouched.
+
+Throttle rejections share the same typed ``reject_reasons`` accounting as the
+fault subsystem's reasons (:mod:`repro.serving.faults`), so conservation
+(``routed + rejected == submitted``) holds with both a throttle and a
+:class:`~repro.serving.faults.FaultPlan` mounted.  The throttle only gates
+*fresh arrivals*: work re-dispatched after a replica crash was already
+admitted once and retries through the router's defer path, never back
+through the rate limiter.
 """
 
 from __future__ import annotations

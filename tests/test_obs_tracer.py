@@ -93,6 +93,44 @@ class TestJsonlTracer:
         with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
             read_jsonl_trace(path)
 
+    def test_every_emit_is_flushed_to_disk(self, tmp_path):
+        # No close() needed to observe emitted events: a run that dies
+        # mid-simulation must still leave every event it got to emit.
+        path = tmp_path / "flush.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.emit(TraceEvent("request.submit", 0.0, request_id="r0"))
+        tracer.emit(TraceEvent("request.finished", 1.0, request_id="r0"))
+        assert len(read_jsonl_trace(path)) == 2
+        tracer.close()
+
+    def test_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError, match="simulated failure"):
+            with JsonlTracer(path) as tracer:
+                tracer.emit(TraceEvent("request.submit", 0.0, request_id="r0"))
+                raise RuntimeError("simulated failure")
+        assert tracer._file is None  # closed despite the exception
+        events = read_jsonl_trace(path)  # and the file holds whole records
+        assert [event.name for event in events] == ["request.submit"]
+
+    def test_unserialisable_event_leaves_no_partial_line(self, tmp_path):
+        # The line is serialised in full before any write: a bad attr must
+        # not truncate the file mid-record.
+        path = tmp_path / "atomic.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit(TraceEvent("request.submit", 0.0, request_id="r0"))
+            with pytest.raises(TypeError):
+                tracer.emit(TraceEvent("bad", 1.0, attrs={"payload": object()}))
+            tracer.emit(TraceEvent("request.finished", 2.0, request_id="r0"))
+        events = read_jsonl_trace(path)  # parses cleanly: no half-written line
+        assert [event.name for event in events] == ["request.submit", "request.finished"]
+
+    def test_flush_before_open_is_noop(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "never.jsonl")
+        tracer.flush()  # must not create the file or raise
+        tracer.close()
+        assert not (tmp_path / "never.jsonl").exists()
+
 
 class TestLifecycleEvents:
     def test_request_lifecycle_ordering(self, platform_7b):

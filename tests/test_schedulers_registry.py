@@ -125,3 +125,28 @@ class TestRegistryKwargValidation:
 
         with pytest.raises(TypeError, match="accepted"):
             create_autoscale_policy("reactive", window_size=3)
+
+
+class TestRegistrySuggestions:
+    """Near-miss names and kwargs get a did-you-mean suggestion."""
+
+    def test_misspelled_scheduler_name_suggests_closest(self):
+        with pytest.raises(KeyError, match="did you mean 'aggressive'"):
+            create_scheduler("agressive")
+
+    def test_misspelled_kwarg_suggests_closest(self):
+        with pytest.raises(TypeError, match="did you mean 'watermark'"):
+            create_scheduler("aggressive", watermrak=0.9)
+
+    def test_misspelled_router_name_suggests_closest(self):
+        from repro.serving.routing import create_router
+
+        with pytest.raises(KeyError, match="did you mean 'memory-aware'"):
+            create_router("memory-awar")
+
+    def test_no_suggestion_for_distant_name(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_scheduler("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+        # The sorted known-name list is still present for grepping.
+        assert "known:" in str(excinfo.value)

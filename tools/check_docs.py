@@ -44,6 +44,7 @@ REQUIRED_DOCS = (
     "migration.md",
     "observability.md",
     "performance.md",
+    "resilience.md",
     "simulation-semantics.md",
 )
 

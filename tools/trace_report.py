@@ -15,6 +15,10 @@ tables:
 3. **Per-tenant throttle timeline** — ``request.throttled`` events bucketed
    into fixed windows per ``user_id``, so sustained throttling is visible at
    a glance.
+4. **Failure timeline** — per-replica ``replica.fail`` / ``replica.recover``
+   spans (crashes are open-ended; straggler windows close on recovery) plus
+   a retry histogram by attempt number, from runs with a
+   :class:`repro.serving.faults.FaultPlan` attached.
 
 ``--chrome OUT.json`` additionally converts the trace to Chrome
 ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``) using
@@ -161,6 +165,59 @@ def throttle_timeline(events: list[TraceEvent], bucket_seconds: float) -> list[d
     return rows
 
 
+def failure_table(events: list[TraceEvent]) -> list[dict]:
+    """Per-replica fault spans plus a fleet-wide retry histogram.
+
+    Each ``replica.fail`` opens a span; a matching ``replica.recover`` closes
+    it (straggler windows).  Crashes never recover, so their spans stay open
+    (``until: None``) — the replacement shows up as a fresh ``replica.launch``
+    elsewhere in the trace.  The final row histograms ``request.retry``
+    events by attempt number: a healthy recovery story is front-loaded
+    (most work lands on attempt 1), while a long tail means the retry
+    policy is fighting dead or overloaded capacity.
+    """
+    spans: dict[int | None, list[dict]] = defaultdict(list)
+    migrations: dict[int | None, int] = defaultdict(int)
+    retries: dict[int, int] = defaultdict(int)
+    for event in events:
+        if event.name == obs.REPLICA_FAIL:
+            spans[event.replica].append(
+                {
+                    "cause": str(event.attrs.get("cause", "unknown")),
+                    "from": event.time,
+                    "until": None,
+                }
+            )
+        elif event.name == obs.REPLICA_RECOVER:
+            open_spans = [s for s in spans[event.replica] if s["until"] is None]
+            if open_spans:
+                open_spans[-1]["until"] = event.time
+        elif event.name == obs.REQUEST_MIGRATE:
+            migrations[event.replica] += 1
+        elif event.name == obs.REQUEST_RETRY:
+            retries[int(event.attrs.get("attempt", 0))] += 1
+    rows = []
+    for replica in sorted(spans, key=lambda r: (r is None, r)):
+        rows.append(
+            {
+                "replica": replica,
+                "faults": spans[replica],
+                "migrated_off": migrations.get(replica, 0),
+            }
+        )
+    if retries:
+        rows.append(
+            {
+                "replica": "fleet",
+                "retry_histogram": {
+                    f"attempt-{attempt}": count for attempt, count in sorted(retries.items())
+                },
+                "retries": sum(retries.values()),
+            }
+        )
+    return rows
+
+
 def build_report(events: list[TraceEvent], bucket_seconds: float = 10.0) -> dict:
     """The full report as one JSON-serializable dict."""
     names: dict[str, int] = defaultdict(int)
@@ -172,6 +229,7 @@ def build_report(events: list[TraceEvent], bucket_seconds: float = 10.0) -> dict
         "phases": phase_table(events),
         "jumps": jump_table(events),
         "throttle": throttle_timeline(events, bucket_seconds),
+        "failures": failure_table(events),
     }
 
 
@@ -224,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
         _print_rows("request phase latency (seconds)", report["phases"])
         _print_rows("jump efficiency", report["jumps"])
         _print_rows("per-tenant throttling", report["throttle"])
+        _print_rows("failure timeline", report["failures"])
 
     if args.chrome is not None:
         from repro.obs.export import export_chrome_trace

@@ -1,9 +1,10 @@
 """Perf-smoke: regenerate ``BENCH_core.json`` and guard the perf trajectory.
 
-Times the seven core scenarios (single-engine fig07 sweep, the
+Times the eight core scenarios (single-engine fig07 sweep, the
 saturated-phase fig07 variant, fig10 cluster routing, fig11 autoscaling, the
-fig12 heterogeneous fleet, the fig13 multi-tenant fairness stack, and the
-fig14 chaos fleet under a seeded fault plan) under the
+fig12 heterogeneous fleet, the fig13 multi-tenant fairness stack, the
+fig14 chaos fleet under a seeded fault plan, and the fig15 session-affinity
+fleet serving multi-turn interactions with prefix reuse) under the
 event-jump fast path and the reference loop,
 verifies the two produce bit-identical metrics (the harness raises before any
 timing is reported otherwise), rewrites ``BENCH_core.json`` at the repo root,
@@ -11,9 +12,10 @@ and fails when a scenario's measured speedup regresses more than 2x against
 the committed baseline.  The fingerprints themselves are also compared
 against the committed file: simulations are deterministic and
 machine-independent, so any fingerprint drift means results changed — in
-particular, the six fault-free scenarios pin the guarantee that the fault
+particular, the seven fault-free scenarios pin the guarantee that the fault
 subsystem is invisible when no :class:`~repro.serving.faults.FaultPlan` is
-attached.
+attached, and the seven session-free ones pin that the session/prefix
+machinery is invisible unless a run actually serves interactions.
 
 Speedup (a ratio of two runs on the same machine) is compared rather than
 absolute seconds, so the check is robust to slow CI hosts.
@@ -55,6 +57,10 @@ SPEEDUP_FLOORS = {
     # FAULT events bound the jump horizon, so the chaos scenario proves the
     # fast path still fuses aggressively between fault edges.
     "fig14_failure_recovery": 2.0,
+    # Spawned follow-up turns bound the jump horizon exactly like retries —
+    # every completion schedules a future arrival the fast path must not fuse
+    # past — so the session fleet fuses less than the open-loop scenarios.
+    "fig15_session_affinity": 2.0,
 }
 
 #: A scenario may not regress more than this factor against the committed
@@ -142,10 +148,11 @@ def test_fingerprint_matches_committed_baseline(fresh_report, committed_baseline
 
     Fingerprints hash simulation *results*, not timings, and the simulations
     are seeded and deterministic — so they are machine-independent.  For the
-    six fault-free scenarios this is the regression gate proving that code
+    seven fault-free scenarios this is the regression gate proving that code
     which only runs under a ``FaultPlan`` (fault events, health filtering,
     retry bookkeeping) is byte-invisible when none is attached; for
-    fig14 it pins the seeded chaos schedule itself.
+    fig14 it pins the seeded chaos schedule itself, and for fig15 the
+    seeded conversation schedule plus the prefix-cache accounting.
     """
     committed = committed_baseline.get(scenario_name)
     if not committed:

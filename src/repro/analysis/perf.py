@@ -6,14 +6,17 @@ engine one decode iteration at a time; the event-jump fast path
 event-free iterations into vectorized macro-steps with bit-identical results.
 This module pins that claim under regression tracking:
 
-* seven scenarios — single-engine goodput-vs-clients (the fig07 shape), a
+* eight scenarios — single-engine goodput-vs-clients (the fig07 shape), a
   deeply *saturated* single engine (non-empty waiting queue, the regime the
   saturated-phase jump targets), cluster routing (fig10), autoscaling
   (fig11), a heterogeneous mixed-GPU fleet (the fig12 shape), the
   multi-tenant fairness stack (the fig13 shape: VTC scheduling plus
-  overload throttling under a heavy-tail tenant population), and a chaos
+  overload throttling under a heavy-tail tenant population), a chaos
   fleet under a seeded fault plan (the fig14 shape: crashes, a straggler,
-  retries, and replacement launches) — run at
+  retries, and replacement launches), and a session-affinity fleet serving
+  multi-turn agentic interactions with per-replica KV prefix reuse (the
+  fig15 shape: closed-loop spawned arrivals bounding the jump horizon) —
+  run at
   **full-scale** request lengths (the regime the ROADMAP's fleet experiments
   are bottlenecked on), each once with the fast path and once with the
   reference one-iteration loop (``fast_path=False``);
@@ -58,6 +61,7 @@ from repro.workloads.arrivals import (
     assign_diurnal_arrivals,
     assign_poisson_arrivals,
 )
+from repro.workloads.interactions import generate_interactions
 from repro.workloads.sharegpt import (
     generate_sharegpt_o1_workload,
     generate_sharegpt_workload,
@@ -129,6 +133,12 @@ def run_snapshot(result: RunResult) -> dict:
     if result.rejected:
         snapshot["rejected"] = [r.request_id for r in result.rejected]
         snapshot["reject_reasons"] = dict(sorted(result.reject_reasons.items()))
+    # Session and prefix-cache bookkeeping follow the same rule: absent from
+    # every session-free run, so the committed baselines are untouched.
+    if result.prefix_stats is not None:
+        snapshot["prefix"] = result.prefix_stats.summary()
+    if any(r.spec.session_id is not None for r in requests):
+        snapshot["sessions"] = result.session_summary().summary()
     return snapshot
 
 
@@ -157,6 +167,10 @@ def cluster_snapshot(result: ClusterResult) -> dict:
             (e.time, e.kind, e.replica, tuple(sorted(e.detail.items())))
             for e in result.fault_events
         ]
+    # Fleet-level session/prefix view: absent unless sessions were served (the
+    # per-replica prefix stats already live in each replica's snapshot).
+    if any(r.spec.session_id is not None for r in result.requests):
+        snapshot["sessions"] = result.session_summary().summary()
     return snapshot
 
 
@@ -269,6 +283,7 @@ def _make_cluster(
     chunked_prefill_tokens: int | None = 8192,
     autoscaler: Autoscaler | None = None,
     faults: FaultPlan | None = None,
+    prefix_cache_tokens: int | None = None,
     tracer: Tracer | None = None,
 ) -> ClusterSimulator:
     """Cluster factory shared by the fleet scenarios.
@@ -290,6 +305,7 @@ def _make_cluster(
         chunked_prefill_tokens=chunked_prefill_tokens,
         autoscaler=autoscaler,
         faults=faults,
+        prefix_cache_tokens=prefix_cache_tokens,
         fast_path=fast_path,
         tracer=tracer,
     )
@@ -518,6 +534,54 @@ def _fig14_failure_recovery_scenario(
     return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
 
 
+def _fig15_interactions():
+    """The fig15 session trace: heavy-tail multi-turn agentic interactions.
+
+    Shared by this harness and the fig15 affinity benchmark so both exercise
+    the same seeded conversation schedule.
+    """
+    return generate_interactions(
+        120,
+        seed=71,
+        mean_prompt_tokens=256.0,
+        mean_output_tokens=128.0,
+        min_turns=2,
+        max_turns=8,
+        think_time=20.0,
+        start_spacing=10.0,
+    )
+
+
+def _fig15_session_affinity_scenario(
+    fast_path: bool, tracer: Tracer | None = None
+) -> tuple[float, str, dict]:
+    """Session-affinity fleet serving multi-turn interactions (the fig15 shape).
+
+    120 heavy-tail agentic sessions (2–8 turns, each turn's prompt the full
+    accumulated conversation) served closed-loop by a four-replica fleet
+    behind the session-affinity router, with a per-replica KV prefix cache
+    sized at half each replica's pool.  Every follow-up turn is *spawned* by
+    its predecessor's completion, so the scenario pins the jump-horizon
+    argument for reactive arrivals (a spawned turn must never be fused past)
+    alongside the prefix claim/retain accounting, under the same
+    fast-path-vs-reference bit-identity gate as the other fleets.
+    """
+    platform = paper_platform("7b-a100")
+    simulator = _make_cluster(
+        fast_path,
+        platform=platform,
+        num_replicas=4,
+        router="session-affinity",
+        token_capacity_override=platform.token_capacity // 8,
+        prefix_cache_tokens=platform.token_capacity // 16,
+        tracer=tracer,
+    )
+    start = time.perf_counter()
+    result = simulator.run_sessions(_fig15_interactions())
+    elapsed = time.perf_counter() - start
+    return elapsed, cluster_fingerprint(result), result.jump_stats.summary()
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="fig07_goodput_vs_clients",
@@ -553,6 +617,11 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="fig14_failure_recovery",
         description="4-replica fleet under chaos: 2 crashes + 45s straggler, retries and replacements",
         run=_fig14_failure_recovery_scenario,
+    ),
+    Scenario(
+        name="fig15_session_affinity",
+        description="4-replica fleet, session-affinity router + prefix cache, 120 multi-turn sessions",
+        run=_fig15_session_affinity_scenario,
     ),
 )
 

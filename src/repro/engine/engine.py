@@ -31,6 +31,7 @@ from repro.engine.request import Request, RequestState
 from repro.hardware.platform import Platform
 from repro.memory.block_manager import BlockKVCachePool, OutOfMemoryError
 from repro.memory.pool_stats import MemoryTimeline
+from repro.memory.prefix_cache import PrefixCache, PrefixEntry
 from repro.obs import events as obs
 from repro.obs.tracer import NULL_TRACER, TraceEvent, Tracer
 from repro.schedulers.base import Scheduler, SchedulingContext
@@ -223,6 +224,14 @@ class InferenceEngine:
             macro-steps.  Metrics are bit-identical either way; the flag
             exists so any future discrepancy can be bisected against the
             reference loop in one flip.
+        prefix_cache_tokens: if set, a per-engine
+            :class:`~repro.memory.prefix_cache.PrefixCache` retains the KV
+            context of finished non-final session turns (up to this many
+            tokens, clamped to the pool capacity) so follow-up turns that
+            land here skip recomputing and re-allocating the shared prefix.
+            ``None`` (the default) disables the cache entirely — no
+            allocation is retained and no prefix event is ever emitted,
+            keeping sessionless runs byte-identical to earlier versions.
         tracer: observability sink for request-lifecycle and macro-step
             events (see :mod:`repro.obs`); defaults to the zero-overhead
             :data:`~repro.obs.tracer.NULL_TRACER`.  Tracing only reads
@@ -240,6 +249,7 @@ class InferenceEngine:
         token_capacity_override: int | None = None,
         fast_path: bool = True,
         tracer: Tracer | None = None,
+        prefix_cache_tokens: int | None = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -253,6 +263,13 @@ class InferenceEngine:
             raise ValueError("token capacity must be positive")
         self.token_capacity = capacity
         self.pool = BlockKVCachePool(capacity, block_size=block_size)
+        if prefix_cache_tokens is not None and prefix_cache_tokens <= 0:
+            raise ValueError("prefix_cache_tokens must be positive when set")
+        self.prefix_cache: PrefixCache | None = (
+            PrefixCache(self.pool, capacity_tokens=min(prefix_cache_tokens, capacity))
+            if prefix_cache_tokens is not None
+            else None
+        )
         self.waiting: deque[Request] = deque()
         self.batch = RunningBatch()
         self.stats = EngineStats()
@@ -327,6 +344,10 @@ class InferenceEngine:
         front to back.
         """
         aborted: list[Request] = []
+        if self.prefix_cache is not None:
+            # A crash takes the cached prefixes with it (no eviction events:
+            # the replica is gone, not under memory pressure).
+            self.prefix_cache.clear()
         for request in list(self.batch):
             self.pool.free(request.request_id)
             self.batch.remove(request)
@@ -375,10 +396,29 @@ class InferenceEngine:
         self.jump_stats.scheduler_consults += 1
         decisions = self.scheduler.schedule(self._scheduling_context(time))
         admitted: list[Request] = []
+        cache = self.prefix_cache
         for request in decisions:
             needed = request.current_context_tokens
-            if not self.pool.can_allocate(needed):
-                break
+            entry = cache.lookup(request.spec) if cache is not None else None
+            if entry is not None:
+                # The shared blocks are already resident; only the new
+                # suffix needs room.  Live admissions outrank other cached
+                # prefixes, so LRU-evict them first (never the entry itself).
+                extra = needed - entry.tokens
+                if extra > 0 and not self.pool.can_extend(entry.cache_key, extra):
+                    self._evict_prefixes(
+                        cache.evict_for_extension(
+                            entry.cache_key, extra, protect=entry.session_id
+                        ),
+                        time,
+                    )
+                    if not self.pool.can_extend(entry.cache_key, extra):
+                        break
+            elif not self.pool.can_allocate(needed):
+                if cache is not None and len(cache):
+                    self._evict_prefixes(cache.evict_for_allocation(needed), time)
+                if not self.pool.can_allocate(needed):
+                    break
             if self.waiting and self.waiting[0] is request:
                 # The common (FCFS prefix) case: exactly the operation the
                 # pre-fair-scheduler engine performed, so prefix-admitting
@@ -399,15 +439,55 @@ class InferenceEngine:
                         f"scheduler {self.scheduler.name!r} admitted "
                         f"{request.request_id}, which is not in the waiting queue"
                     )
-            self.pool.allocate(request.request_id, needed)
-            request.admit(time)
-            if request.eviction_count > 0:
-                # Swap-style eviction policies make re-admission cheaper than a
-                # full recompute; credit the difference so the remaining
-                # prefill work equals the policy's re-admission cost.
-                credit = request.recompute_tokens - self._prefill_cost_tokens(request)
-                if credit > 0:
-                    request.note_prefill(credit)
+            if entry is not None:
+                cache.claim(entry, request.request_id)
+                if needed > entry.tokens:
+                    self.pool.append_tokens(request.request_id, needed - entry.tokens)
+                request.admit(time)
+                # The reused prefix's KV is already computed; only the new
+                # suffix remains as prefill work (mirrors the eviction-credit
+                # mechanism below).
+                request.note_prefill(entry.tokens)
+                if self._tracing:
+                    self.tracer.emit(
+                        TraceEvent(
+                            obs.PREFIX_HIT,
+                            time,
+                            request_id=request.request_id,
+                            replica=self.trace_replica,
+                            attrs={
+                                "session_id": entry.session_id,
+                                "reused_tokens": entry.tokens,
+                                "new_tokens": needed - entry.tokens,
+                            },
+                        )
+                    )
+            else:
+                self.pool.allocate(request.request_id, needed)
+                request.admit(time)
+                if cache is not None and request.spec.session_id is not None:
+                    cache.note_miss()
+                    if self._tracing:
+                        self.tracer.emit(
+                            TraceEvent(
+                                obs.PREFIX_MISS,
+                                time,
+                                request_id=request.request_id,
+                                replica=self.trace_replica,
+                                attrs={
+                                    "session_id": request.spec.session_id,
+                                    "prompt_tokens": needed,
+                                },
+                            )
+                        )
+                if request.eviction_count > 0:
+                    # Swap-style eviction policies make re-admission cheaper
+                    # than a full recompute; credit the difference so the
+                    # remaining prefill work equals the policy's re-admission
+                    # cost.
+                    credit = request.recompute_tokens - self._prefill_cost_tokens(request)
+                    if credit > 0:
+                        request.note_prefill(credit)
             admitted.append(request)
             self.batch.add(request)
         if admitted:
@@ -470,12 +550,36 @@ class InferenceEngine:
         return processed, completed
 
     # ----------------------------------------------------------------- decode
+    def _evict_prefixes(self, entries: list[PrefixEntry], time: float) -> None:
+        """Emit ``prefix.evict`` events for cache entries dropped under pressure."""
+        if not entries or not self._tracing:
+            return
+        for entry in entries:
+            self.tracer.emit(
+                TraceEvent(
+                    obs.PREFIX_EVICT,
+                    time,
+                    replica=self.trace_replica,
+                    attrs={
+                        "session_id": entry.session_id,
+                        "tokens": entry.tokens,
+                        "cause": "pool-pressure",
+                    },
+                )
+            )
+
     def _make_room(self, protect: Request, time: float, evicted: list[Request]) -> bool:
         """Evict requests until one block frees up.
 
-        Returns ``False`` if the protected request itself had to be evicted
-        (its token cannot be produced this step).
+        Cached session prefixes go first — dropping a cold prefix is strictly
+        cheaper than evicting a running request's whole context.  Returns
+        ``False`` if the protected request itself had to be evicted (its
+        token cannot be produced this step).
         """
+        if self.prefix_cache is not None and len(self.prefix_cache):
+            self._evict_prefixes(self.prefix_cache.evict_for_one_block(), time)
+            if self.pool.free_blocks > 0:
+                return True
         while True:
             victim = self.eviction_policy.select_victim(self.batch, protect=protect)
             if victim is None:
@@ -537,7 +641,26 @@ class InferenceEngine:
             )
         if request.should_stop:
             request.finish(end_time)
-            self.pool.free(request.request_id)
+            retained = False
+            spec = request.spec
+            if (
+                self.prefix_cache is not None
+                and spec.session_id is not None
+                and spec.session_stage is not None
+                and not spec.is_final_stage
+            ):
+                # Park the accumulated context for the session's next turn
+                # instead of freeing it; the blocks stay charged to the pool.
+                outcome = self.prefix_cache.retain(
+                    request.request_id,
+                    spec.session_id,
+                    spec.session_stage,
+                    request.current_context_tokens,
+                )
+                self._evict_prefixes(outcome.evicted, end_time)
+                retained = outcome.retained
+            if not retained:
+                self.pool.free(request.request_id)
             self.batch.remove(request)
             self._batch_epoch += 1
             finished.append(request)

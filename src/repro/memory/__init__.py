@@ -8,12 +8,16 @@ from repro.memory.block_manager import (
 )
 from repro.memory.contiguous import ContiguousKVCachePool, Extent
 from repro.memory.pool_stats import MemorySample, MemoryTimeline
+from repro.memory.prefix_cache import PrefixCache, PrefixCacheStats, PrefixEntry
 
 __all__ = [
     "AllocationError",
     "BlockKVCachePool",
     "BlockTable",
     "OutOfMemoryError",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "PrefixEntry",
     "ContiguousKVCachePool",
     "Extent",
     "MemorySample",

@@ -59,6 +59,11 @@ class BlockKVCachePool:
             raise ValueError("token_capacity smaller than one block")
         self._free_blocks: list[int] = list(range(self._num_blocks - 1, -1, -1))
         self._tables: dict[str, BlockTable] = {}
+        # Pinned allocations hold blocks but never grow: cached session
+        # prefixes (repro.memory.prefix_cache) park here between turns.  The
+        # bulk decode operations below skip them, so a pinned table exerts
+        # pool pressure without participating in uniform growth.
+        self._pinned: set[str] = set()
         self._peak_tokens_used = 0
         # Incremental occupancy counter: kept in sync by every allocate /
         # append / free so `used_tokens` (queried once per decode token by the
@@ -228,30 +233,41 @@ class BlockKVCachePool:
         self._used_tokens += num_tokens
         self._note_usage()
 
+    def _growing_tables(self) -> list[BlockTable]:
+        """Tables that participate in bulk decode growth (unpinned)."""
+        if not self._pinned:
+            return list(self._tables.values())
+        return [t for rid, t in self._tables.items() if rid not in self._pinned]
+
     def can_grow_each_by_one(self) -> bool:
-        """Whether every resident request can grow by one token right now."""
-        if self._block_size == 1:
+        """Whether every resident (unpinned) request can grow by one token."""
+        if self._block_size == 1 and not self._pinned:
             return len(self._free_blocks) >= len(self._tables)
         bs = self._block_size
-        full = sum(1 for t in self._tables.values() if len(t.block_ids) * bs == t.num_tokens)
+        tables = self._growing_tables()
+        if bs == 1:
+            return len(self._free_blocks) >= len(tables)
+        full = sum(1 for t in tables if len(t.block_ids) * bs == t.num_tokens)
         return full <= len(self._free_blocks)
 
     def append_token_to_all(self) -> None:
-        """Grow every resident request by one generated token (bulk decode).
+        """Grow every resident (unpinned) request by one token (bulk decode).
 
-        Equivalent to one :meth:`append_token` per resident request; callers
-        should establish :meth:`can_grow_each_by_one` first.
+        Equivalent to one :meth:`append_token` per growing request; callers
+        should establish :meth:`can_grow_each_by_one` first.  Pinned tables
+        (cached prefixes) are untouched.
 
         Raises:
             OutOfMemoryError: if some request needs a new block and none is
                 free (no partial growth is performed).
         """
         bs = self._block_size
-        tables = self._tables.values()
+        tables = self._tables.values() if not self._pinned else self._growing_tables()
+        num_growing = len(tables)
         if bs == 1:
             # Every table fills a block per token; all need one.
             needing: list[BlockTable] | object = tables
-            num_needing = len(self._tables)
+            num_needing = num_growing
         else:
             needing = [t for t in tables if len(t.block_ids) * bs == t.num_tokens]
             num_needing = len(needing)
@@ -265,7 +281,7 @@ class BlockKVCachePool:
             table.block_ids.append(free_pop())
         for table in tables:
             table.num_tokens += 1
-        self._used_tokens += len(self._tables)
+        self._used_tokens += num_growing
         self._note_usage()
 
     def max_uniform_growth(self, cap: int | None = None) -> int:
@@ -275,9 +291,13 @@ class BlockKVCachePool:
         Used by the event-jump planner to prove that ``K`` macro-advanced
         decode iterations cannot trigger an eviction.  Returns ``cap`` when
         no request is resident (unbounded growth), and ``0`` when even one
-        more token per request may not fit.
+        more token per request may not fit.  Pinned tables do not grow; they
+        only shrink the free list the growing requests draw from.
         """
-        n = len(self._tables)
+        tables = (
+            list(self._tables.values()) if not self._pinned else self._growing_tables()
+        )
+        n = len(tables)
         if n == 0:
             return cap if cap is not None else self.token_capacity
         bs = self._block_size
@@ -288,7 +308,7 @@ class BlockKVCachePool:
             best = free // n
             return best if cap is None else min(best, cap)
         slacks = np.fromiter(
-            (len(t.block_ids) * bs - t.num_tokens for t in self._tables.values()),
+            (len(t.block_ids) * bs - t.num_tokens for t in tables),
             dtype=np.int64,
             count=n,
         )
@@ -316,6 +336,70 @@ class BlockKVCachePool:
                 hi = mid
         return lo
 
+    def can_extend(self, request_id: str, num_tokens: int) -> bool:
+        """Whether :meth:`append_tokens` of ``num_tokens`` would succeed.
+
+        Accounts for the slack in the request's last partial block, so it is
+        the correct pre-check for growing an *existing* allocation (unlike
+        :meth:`can_allocate`, which prices a fresh one).
+        """
+        table = self._tables.get(request_id)
+        if table is None or num_tokens <= 0:
+            return False
+        needed = self.blocks_needed(table.num_tokens + num_tokens) - len(table.block_ids)
+        return needed <= len(self._free_blocks)
+
+    # ---------------------------------------------------------------- pinning
+    def pin(self, request_id: str) -> None:
+        """Exclude a table from bulk decode growth (cached-prefix parking).
+
+        Raises:
+            AllocationError: if the request holds nothing.
+        """
+        if request_id not in self._tables:
+            raise AllocationError(f"request {request_id!r} has no allocation")
+        self._pinned.add(request_id)
+
+    def unpin(self, request_id: str) -> None:
+        """Re-include a table in bulk decode growth (no-op if not pinned)."""
+        self._pinned.discard(request_id)
+
+    def is_pinned(self, request_id: str) -> bool:
+        """Whether the table is currently pinned."""
+        return request_id in self._pinned
+
+    @property
+    def pinned_tokens(self) -> int:
+        """Tokens held by pinned tables (cached prefixes)."""
+        if not self._pinned:
+            return 0
+        return sum(self._tables[rid].num_tokens for rid in self._pinned)
+
+    def rename(self, old_id: str, new_id: str) -> BlockTable:
+        """Transfer an allocation to a new owner id, keeping its blocks.
+
+        The handoff primitive behind prefix reuse: a finished turn's blocks
+        move under a cache key without touching the free list, and back under
+        the follow-up request's id on a hit.  Pinned status travels with the
+        table.
+
+        Raises:
+            AllocationError: if ``old_id`` holds nothing or ``new_id``
+                already holds an allocation.
+        """
+        table = self._tables.get(old_id)
+        if table is None:
+            raise AllocationError(f"request {old_id!r} has no allocation")
+        if new_id in self._tables:
+            raise AllocationError(f"request {new_id!r} already allocated")
+        del self._tables[old_id]
+        table.request_id = new_id
+        self._tables[new_id] = table
+        if old_id in self._pinned:
+            self._pinned.discard(old_id)
+            self._pinned.add(new_id)
+        return table
+
     def free(self, request_id: str) -> int:
         """Release all blocks of a request, returning the number released.
 
@@ -325,6 +409,7 @@ class BlockKVCachePool:
         table = self._tables.pop(request_id, None)
         if table is None:
             return 0
+        self._pinned.discard(request_id)
         self._free_blocks.extend(reversed(table.block_ids))
         self._used_tokens -= table.num_tokens
         return len(table.block_ids)
@@ -332,6 +417,7 @@ class BlockKVCachePool:
     def reset(self) -> None:
         """Release every allocation and clear the high-water mark."""
         self._tables.clear()
+        self._pinned.clear()
         self._free_blocks = list(range(self._num_blocks - 1, -1, -1))
         self._peak_tokens_used = 0
         self._used_tokens = 0

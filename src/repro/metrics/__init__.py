@@ -32,6 +32,12 @@ from repro.metrics.latency import (
     ttfts,
 )
 from repro.metrics.memory_stats import MemoryReport, build_memory_report
+from repro.metrics.sessions import (
+    SessionOutcome,
+    SessionSummary,
+    session_requests,
+    summarize_sessions,
+)
 from repro.metrics.similarity import (
     AdjacentWindowSimilarity,
     SimilarityMatrix,
@@ -70,6 +76,10 @@ __all__ = [
     "ttfts",
     "MemoryReport",
     "build_memory_report",
+    "SessionOutcome",
+    "SessionSummary",
+    "session_requests",
+    "summarize_sessions",
     "AdjacentWindowSimilarity",
     "SimilarityMatrix",
     "adjacent_window_similarity",

@@ -83,6 +83,34 @@ REQUEST_RETRY = "request.retry"
 #: retry-attempt charge.  attrs: generated_tokens (partial output discarded).
 REQUEST_MIGRATE = "request.migrate"
 
+# ------------------------------------------------------------ session lifecycle
+#: The first stage of a multi-turn session entered the system.
+#: attrs: session_id, stages (total turns the session will attempt).
+SESSION_START = "session.start"
+
+#: A non-final session stage completed, spawning the next turn.
+#: attrs: session_id, stage (0-based index of the completed turn).
+SESSION_STAGE = "session.stage"
+
+#: A session ended — its final stage completed, or an earlier stage was
+#: rejected/aborted and the remaining turns were abandoned.
+#: attrs: session_id, turns_completed, abandoned.
+SESSION_END = "session.end"
+
+#: An admitted request extended a resident session prefix: the shared KV
+#: blocks were claimed instead of re-allocated and the shared prompt tokens
+#: skipped recompute.  attrs: session_id, reused_tokens, new_tokens.
+PREFIX_HIT = "prefix.hit"
+
+#: A session request found no resident prefix on its replica (first turn,
+#: migrated session, or an already-evicted entry) and prefills in full.
+#: attrs: session_id, prompt_tokens.
+PREFIX_MISS = "prefix.miss"
+
+#: A cached session prefix was released — LRU pressure from the pool or the
+#: cache's own token budget.  attrs: session_id, tokens, cause.
+PREFIX_EVICT = "prefix.evict"
+
 # ---------------------------------------------------------------- engine spans
 #: One *eventful* continuous-batching iteration (admission, finish, eviction,
 #: or prefill work).  A span: ``time`` is the iteration start, ``duration``
@@ -138,6 +166,12 @@ EVENT_TAXONOMY: dict[str, str] = {
     REQUEST_EVICTED: "request evicted back to the waiting queue",
     REQUEST_RETRY: "fault sent the request back through the retry policy",
     REQUEST_MIGRATE: "queued request migrated off a preempted replica",
+    SESSION_START: "first stage of a multi-turn session entered the system",
+    SESSION_STAGE: "session stage completed, spawning the next turn",
+    SESSION_END: "session finished its final stage or was abandoned",
+    PREFIX_HIT: "admitted request reused a resident session prefix",
+    PREFIX_MISS: "session request found no resident prefix on its replica",
+    PREFIX_EVICT: "cached session prefix released under memory pressure",
     ENGINE_STEP: "eventful continuous-batching iteration (span)",
     ENGINE_JUMP: "event-jump macro-step of fused iterations (span)",
     REPLICA_LAUNCH: "replica launched (cold engine)",

@@ -53,6 +53,12 @@ _INSTANT_EVENTS = {
     ev.REPLICA_FAIL,
     ev.REPLICA_RECOVER,
     ev.AUTOSCALE_DECISION,
+    ev.SESSION_START,
+    ev.SESSION_STAGE,
+    ev.SESSION_END,
+    ev.PREFIX_HIT,
+    ev.PREFIX_MISS,
+    ev.PREFIX_EVICT,
 }
 
 
@@ -106,9 +112,24 @@ def derive_request_phases(source: Iterable[TraceEvent] | str | Path) -> list[Req
 
         if event.name in (ev.REQUEST_QUEUED, ev.REQUEST_SUBMIT):
             # A queued event after a submit refines the start; keep the
-            # earliest open marker and adopt the replica once known.
-            if rid not in open_phase or event.name == ev.REQUEST_QUEUED:
-                start = open_phase[rid][1] if rid in open_phase else event.time
+            # earliest open marker and adopt the replica once known.  But a
+            # queued event on a *different* replica than the open span is a
+            # hand-off (evicted on one replica, then migrated before
+            # re-admission): split at the boundary so neither replica is
+            # charged for the other's wait.  An open prefill/decode span at
+            # that point is likewise closed rather than silently discarded.
+            if rid not in open_phase:
+                open_phase[rid] = ("queued", event.time, event.replica)
+            elif event.name == ev.REQUEST_QUEUED:
+                name, start, replica = open_phase[rid]
+                crossed = (
+                    replica is not None
+                    and event.replica is not None
+                    and replica != event.replica
+                )
+                if name != "queued" or crossed:
+                    close(event.time)
+                    start = event.time
                 open_phase[rid] = ("queued", start, event.replica)
         elif event.name == ev.REQUEST_ADMITTED:
             if rid in open_phase:

@@ -100,8 +100,16 @@ from repro.serving.routing import (
     RoutingDecision,
     create_router,
 )
-from repro.serving.server import LoadGenerator, SimulationLimits, _submit_attrs
+from repro.serving.server import (
+    LoadGenerator,
+    SimulationLimits,
+    _submit_attrs,
+    emit_session_abandoned,
+    emit_session_completion,
+    emit_session_submit,
+)
 from repro.serving.throttle import OverloadThrottle
+from repro.workloads.interactions import Interaction, InteractionLoadGenerator
 from repro.workloads.spec import RequestSpec, Workload
 
 
@@ -266,6 +274,12 @@ class ClusterSimulator:
             replacement recovery knobs.  ``None`` (the default) keeps every
             replica perfectly reliable and runs byte-identical to builds
             that predate fault injection.
+        prefix_cache_tokens: per-replica session prefix-cache budget in KV
+            tokens (see :class:`repro.memory.prefix_cache.PrefixCache`);
+            each replica's engine retains finished session turns' KV context
+            for reuse by follow-up turns that land on the same replica.
+            ``None`` (the default) disables retention and keeps every run
+            byte-identical to builds that predate sessions.
     """
 
     def __init__(
@@ -290,6 +304,7 @@ class ClusterSimulator:
         throttle: OverloadThrottle | None = None,
         tracer: Tracer | None = None,
         faults: FaultPlan | None = None,
+        prefix_cache_tokens: int | None = None,
     ) -> None:
         if (platform is None) == (platforms is None):
             raise ValueError("exactly one of platform / platforms is required")
@@ -343,6 +358,7 @@ class ClusterSimulator:
         self._chunked_prefill_tokens = chunked_prefill_tokens
         self._token_capacity_override = token_capacity_override
         self._capacity_scale = capacity_scale
+        self._prefix_cache_tokens = prefix_cache_tokens
         # Relative decode speed per platform-cycle slot, normalised so the
         # fastest platform in the fleet is 1.0 (homogeneous fleets: all 1.0).
         models = [
@@ -468,6 +484,7 @@ class ClusterSimulator:
             token_capacity_override=self._effective_capacity(platform),
             fast_path=self.fast_path,
             tracer=self.tracer,
+            prefix_cache_tokens=self._prefix_cache_tokens,
         )
 
     def _launch_replica(self, time: float, warmup_delay: float) -> _Replica:
@@ -867,6 +884,9 @@ class ClusterSimulator:
                     attrs={"reason": reason, "candidates": candidates},
                 )
             )
+            # A rejected turn never finishes, so its session cannot spawn a
+            # follow-up: the session ends here, abandoned.
+            emit_session_abandoned(self.tracer, spec, now)
         # The client's slot must be released or a closed-loop pool would
         # deadlock — but not at this same instant: views only change when
         # a replica steps, so an immediate release would re-inject (and
@@ -891,6 +911,7 @@ class ClusterSimulator:
         if arrived_at is None:
             arrived_at = spec.arrival_time if spec.arrival_time is not None else now
         if self._tracing and first_attempt:
+            emit_session_submit(self.tracer, spec, now)
             self.tracer.emit(
                 TraceEvent(
                     obs.REQUEST_SUBMIT, now, request_id=spec.request_id, attrs=_submit_attrs(spec)
@@ -917,6 +938,7 @@ class ClusterSimulator:
                             },
                         )
                     )
+                    emit_session_abandoned(self.tracer, spec, now)
                 # Unlike saturation rejects, throttle rejects can release the
                 # client slot at this same instant without a zero-time
                 # cascade risk: the rate window only fills as requests are
@@ -1065,6 +1087,7 @@ class ClusterSimulator:
             self.autoscaler.on_run_start()
         completed = True
         total_steps = 0
+        notify = getattr(generator, "on_request_completed", None)
 
         # Event priorities at equal times: warm-ups complete first (a replica
         # ready at t may serve an arrival at t), fault actions land next (so
@@ -1181,6 +1204,13 @@ class ClusterSimulator:
                 step_replica.clock = result.end_time
             for request in result.finished:
                 generator.on_request_finished(step_replica.clock)
+                if notify is not None:
+                    # Identity-aware completion hook: session generators
+                    # spawn the follow-up turn here (never inside a jump,
+                    # so the arrival horizon stays complete).
+                    notify(request, step_replica.clock)
+                if self._tracing:
+                    emit_session_completion(self.tracer, request, step_replica.clock)
                 self.router.on_request_finished(request, step_replica.clock)
                 if self.autoscaler is not None:
                     self.autoscaler.on_request_finished(request, step_replica.clock)
@@ -1240,6 +1270,11 @@ class ClusterSimulator:
                 token_capacity=replica.engine.token_capacity,
                 completed=completed,
                 jump_stats=replica.engine.jump_stats,
+                prefix_stats=(
+                    replica.engine.prefix_cache.stats
+                    if replica.engine.prefix_cache is not None
+                    else None
+                ),
             )
             for replica in self.replicas
         ]
@@ -1285,3 +1320,23 @@ class ClusterSimulator:
         """Serve a workload with open-loop (Poisson, bursty, or recorded) arrivals."""
         arrivals = OpenLoopArrivals(workload, request_rate=request_rate, seed=seed)
         return self._run(arrivals, workload.name, num_clients=0)
+
+    def run_sessions(
+        self,
+        interactions: Sequence[Interaction],
+        name: str = "interactions",
+    ) -> ClusterResult:
+        """Serve multi-turn sessions closed-loop across the fleet.
+
+        Each interaction's opening turn arrives at its start time; every
+        later turn is spawned by its predecessor's completion, carrying the
+        accumulated conversation prefix.  Spawned arrivals are routed like
+        any other (the ``session-affinity`` router sends them back to the
+        replica holding their prefix), and — as with any closed-loop run —
+        every busy replica's clock bounds the event-jump horizon, since any
+        step may finish a turn whose follow-up observes fleet state.
+        """
+        generator = InteractionLoadGenerator(interactions)
+        return self._run(
+            generator, name, num_clients=len(interactions), arrivals_from_finishes=True
+        )

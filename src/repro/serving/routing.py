@@ -27,7 +27,7 @@ on fractions of *their own* capacity rather than absolute token counts, so a
 24 GB card is never mistaken for an 80 GB one.  On homogeneous fleets the
 normalised comparisons order replicas exactly as the absolute ones did.
 
-Four policies are provided, in increasing order of awareness:
+Five policies are provided, in increasing order of awareness:
 
 * :class:`RoundRobinRouter` — cycles through replicas, load-blind;
 * :class:`LeastOutstandingRouter` — fewest in-flight (running + queued)
@@ -41,7 +41,13 @@ Four policies are provided, in increasing order of awareness:
   uses and evaluates each replica's peak future memory (Eq. 2–4 via
   :func:`repro.core.future_memory.peak_future_memory_arrays`), so a replica
   whose batch *will* balloon is avoided even while its present occupancy
-  still looks low.
+  still looks low;
+* :class:`SessionAffinityRouter` — memory-aware placement plus *session
+  stickiness*: follow-up turns of a multi-turn session are routed back to
+  the replica holding the session's cached KV prefix (see
+  :class:`repro.memory.prefix_cache.PrefixCache`), falling back to
+  memory-aware scoring when the home replica is saturated, draining, or
+  dead.
 
 All routers break ties deterministically in favour of the lowest replica
 index, and skip saturated replicas unless every replica is saturated.  Every
@@ -820,6 +826,101 @@ class MemoryAwareRouter(Router):
         return f"{self.name} (window={self.history.window_size}{extra})"
 
 
+class SessionAffinityRouter(MemoryAwareRouter):
+    """Route follow-up session turns back to the replica holding their prefix.
+
+    Multi-turn sessions (see :mod:`repro.workloads.interactions`) carry a
+    ``session_id``, and each finished turn's KV context can be retained in
+    the serving replica's :class:`~repro.memory.prefix_cache.PrefixCache`.
+    A follow-up turn only *hits* that cache if it lands on the same replica,
+    so this router remembers where it last placed each session — the
+    session's **home** — and prefers the home replica whenever it is still a
+    viable candidate.
+
+    The fallback is full memory-aware placement (the parent policy), which
+    fires when:
+
+    * the request carries no ``session_id`` (sessionless traffic is routed
+      exactly as :class:`MemoryAwareRouter` would);
+    * the session has no home yet (its first turn);
+    * the home replica is saturated, unhealthy, draining, dead, or has left
+      the fleet — :meth:`Router.candidates` filters those out, so a crashed
+      home degrades gracefully to load-aware placement instead of stalling
+      the session.
+
+    Whatever replica wins becomes the session's new home, so sessions that
+    are migrated, retried, or re-placed after a crash *re-home* on their
+    next turn and regain affinity from there on.
+
+    Args:
+        window_size: sliding-window length for the memory-aware fallback.
+        default_length: output length assumed before any request finishes.
+        reject_when_saturated: admission knob forwarded to :class:`Router`.
+        shed_classes: admission knob forwarded to :class:`Router`.
+        defer_when_saturated: admission knob forwarded to :class:`Router`.
+    """
+
+    name = "session-affinity"
+
+    def __init__(
+        self,
+        window_size: int = 1000,
+        default_length: int = 2048,
+        *,
+        reject_when_saturated: bool = False,
+        shed_classes: Iterable[str] = (),
+        defer_when_saturated: float | None = None,
+    ) -> None:
+        super().__init__(
+            window_size=window_size,
+            default_length=default_length,
+            reject_when_saturated=reject_when_saturated,
+            shed_classes=shed_classes,
+            defer_when_saturated=defer_when_saturated,
+        )
+        self._homes: dict[str, int] = {}
+
+    def on_run_start(self) -> None:
+        """Forget session homes and the length history for a fresh run."""
+        super().on_run_start()
+        self._homes.clear()
+
+    def home_of(self, session_id: str) -> int | None:
+        """The replica id this router last placed ``session_id`` on, if any."""
+        return self._homes.get(session_id)
+
+    def decide(
+        self,
+        spec: RequestSpec,
+        views: Sequence[ReplicaView],
+        now: float = 0.0,
+    ) -> RoutingDecision:
+        """Route to the session's home replica when viable, else fall back."""
+        if spec.session_id is None:
+            return super().decide(spec, views, now)
+        decision = self.admission_check(spec, views, now)
+        if decision is not None:
+            return decision
+        home = self._homes.get(spec.session_id)
+        if home is not None and any(
+            view.replica_id == home for view in self.candidates(views)
+        ):
+            chosen = home
+        else:
+            table = self._history_table()
+            chosen = self._pick_min(
+                views, lambda view: -self.placement_score(spec, view, table)
+            )
+        self._homes[spec.session_id] = chosen
+        return RoutingDecision.route(chosen)
+
+    def describe(self) -> str:
+        """One-line parameterised description used in result tables."""
+        suffix = self._policy_suffix()
+        extra = f", {suffix}" if suffix else ""
+        return f"{self.name} (window={self.history.window_size}{extra})"
+
+
 RouterFactory = Callable[..., Router]
 
 ROUTER_REGISTRY: dict[str, RouterFactory] = {
@@ -827,6 +928,7 @@ ROUTER_REGISTRY: dict[str, RouterFactory] = {
     "least-outstanding": LeastOutstandingRouter,
     "least-kv-load": LeastKVLoadRouter,
     "memory-aware": MemoryAwareRouter,
+    "session-affinity": SessionAffinityRouter,
 }
 
 
@@ -835,7 +937,7 @@ def create_router(name: str, **kwargs) -> Router:
 
     Args:
         name: one of ``round-robin``, ``least-outstanding``,
-            ``least-kv-load``, ``memory-aware``.
+            ``least-kv-load``, ``memory-aware``, ``session-affinity``.
         **kwargs: forwarded to the router constructor — policy knobs shared
             by every router (``reject_when_saturated``, ``shed_classes``,
             ``defer_when_saturated``) plus router-specific parameters such as

@@ -23,7 +23,7 @@ to absorb the displaced work.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.engine.cost_model import CostModel
 from repro.engine.engine import InferenceEngine
@@ -36,6 +36,7 @@ from repro.schedulers.base import Scheduler
 from repro.serving.clients import ClosedLoopClientPool, OpenLoopArrivals
 from repro.serving.results import RunResult
 from repro.serving.throttle import OverloadThrottle
+from repro.workloads.interactions import Interaction, InteractionLoadGenerator
 from repro.workloads.spec import Workload
 
 
@@ -74,6 +75,67 @@ def _submit_attrs(spec) -> dict:
     if spec.sla_class:
         attrs["sla_class"] = spec.sla_class
     return attrs
+
+
+def emit_session_submit(tracer: Tracer, spec, time: float) -> None:
+    """Emit ``session.start`` when a session's opening turn is submitted."""
+    if spec.session_id is None or spec.session_stage != 0:
+        return
+    tracer.emit(
+        TraceEvent(
+            obs.SESSION_START,
+            time,
+            request_id=spec.request_id,
+            attrs={"session_id": spec.session_id, "stages": spec.session_stages},
+        )
+    )
+
+
+def emit_session_completion(tracer: Tracer, request: Request, time: float) -> None:
+    """Emit ``session.stage`` / ``session.end`` for one finished session turn."""
+    spec = request.spec
+    if spec.session_id is None or spec.session_stage is None:
+        return
+    if spec.is_final_stage:
+        tracer.emit(
+            TraceEvent(
+                obs.SESSION_END,
+                time,
+                request_id=spec.request_id,
+                attrs={
+                    "session_id": spec.session_id,
+                    "turns_completed": spec.session_stage + 1,
+                    "abandoned": False,
+                },
+            )
+        )
+    else:
+        tracer.emit(
+            TraceEvent(
+                obs.SESSION_STAGE,
+                time,
+                request_id=spec.request_id,
+                attrs={"session_id": spec.session_id, "stage": spec.session_stage},
+            )
+        )
+
+
+def emit_session_abandoned(tracer: Tracer, spec, time: float) -> None:
+    """Emit an abandoned ``session.end`` for a turned-away session turn."""
+    if spec.session_id is None or spec.session_stage is None:
+        return
+    tracer.emit(
+        TraceEvent(
+            obs.SESSION_END,
+            time,
+            request_id=spec.request_id,
+            attrs={
+                "session_id": spec.session_id,
+                "turns_completed": spec.session_stage,
+                "abandoned": True,
+            },
+        )
+    )
 
 
 @dataclass
@@ -117,6 +179,7 @@ class ServingSimulator:
         fast_path: bool = True,
         throttle: OverloadThrottle | None = None,
         tracer: Tracer | None = None,
+        prefix_cache_tokens: int | None = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -133,6 +196,7 @@ class ServingSimulator:
             token_capacity_override=token_capacity_override,
             fast_path=fast_path,
             tracer=self.tracer,
+            prefix_cache_tokens=prefix_cache_tokens,
         )
         self.limits = limits or SimulationLimits()
 
@@ -149,12 +213,14 @@ class ServingSimulator:
         completed = True
 
         tracing = self.tracer.enabled
+        notify = getattr(generator, "on_request_completed", None)
         step = 0
         idle_streak = 0
         while True:
             for spec in generator.pop_arrivals(time):
                 arrival = spec.arrival_time if spec.arrival_time is not None else time
                 if tracing:
+                    emit_session_submit(self.tracer, spec, time)
                     self.tracer.emit(
                         TraceEvent(
                             obs.REQUEST_SUBMIT,
@@ -184,6 +250,9 @@ class ServingSimulator:
                                     },
                                 )
                             )
+                            # A throttled turn never finishes, so its session
+                            # cannot spawn a follow-up: the session ends here.
+                            emit_session_abandoned(self.tracer, spec, time)
                         generator.on_request_finished(time)
                         continue
                 request = Request(spec=spec, arrival_time=arrival)
@@ -227,6 +296,13 @@ class ServingSimulator:
             time = result.end_time if result.duration > 0 else time
             for request in result.finished:
                 generator.on_request_finished(time)
+                if notify is not None:
+                    # Identity-aware completion hook: session generators
+                    # spawn the follow-up turn here (never inside a jump,
+                    # so the arrival horizon stays complete).
+                    notify(request, time)
+                if tracing:
+                    emit_session_completion(self.tracer, request, time)
 
             # Stall guard: an idle iteration while requests are waiting means no
             # admission is possible (e.g. a prompt larger than the capacity).
@@ -259,6 +335,7 @@ class ServingSimulator:
             rejected=rejected,
             reject_reasons=reject_reasons,
             jump_stats=engine.jump_stats,
+            prefix_stats=engine.prefix_cache.stats if engine.prefix_cache is not None else None,
         )
 
     def run_closed_loop(
@@ -280,3 +357,19 @@ class ServingSimulator:
         """Serve a workload with open-loop (Poisson or recorded) arrivals."""
         arrivals = OpenLoopArrivals(workload, request_rate=request_rate, seed=seed)
         return self._run(arrivals, workload.name, num_clients=0)
+
+    def run_sessions(
+        self,
+        interactions: Sequence[Interaction],
+        name: str = "interactions",
+    ) -> RunResult:
+        """Serve multi-turn sessions closed-loop.
+
+        Each interaction's opening turn arrives at its start time; every
+        later turn is spawned by its predecessor's completion (plus the
+        interaction's think time), so stage *n + 1* always carries the
+        accumulated conversation prefix stage *n* just finished.  Pair with
+        ``prefix_cache_tokens`` to model KV prefix reuse across turns.
+        """
+        generator = InteractionLoadGenerator(interactions)
+        return self._run(generator, name, num_clients=len(interactions))

@@ -22,6 +22,13 @@ from repro.workloads.distributions import (
     distribution_workload,
     generate_uniform_workload,
 )
+from repro.workloads.interactions import (
+    Interaction,
+    InteractionLoadGenerator,
+    InteractionStage,
+    generate_interactions,
+    interactions_workload,
+)
 from repro.workloads.mixed import generate_phase_workload, generate_varying_load
 from repro.workloads.multimodal import generate_textvqa_workload
 from repro.workloads.sharegpt import (
@@ -65,6 +72,11 @@ __all__ = [
     "UniformLengthSpec",
     "distribution_workload",
     "generate_uniform_workload",
+    "Interaction",
+    "InteractionLoadGenerator",
+    "InteractionStage",
+    "generate_interactions",
+    "interactions_workload",
     "generate_phase_workload",
     "generate_varying_load",
     "generate_textvqa_workload",

@@ -58,6 +58,19 @@ class RequestSpec:
         app_id: the application the request arrived through (one app serves
             many users; one user may use several apps), or ``None``.
             Throttling and fairness metrics can also slice per app.
+        session_id: the multi-turn session the request belongs to, or ``None``
+            for single-shot traffic.  Session-affine routers
+            (:mod:`repro.serving.routing`) pin a session's turns to the
+            replica holding its KV prefix, and the per-replica
+            :class:`~repro.memory.prefix_cache.PrefixCache` keys resident
+            prefixes by session.  Stamped by
+            :mod:`repro.workloads.interactions`.
+        session_stage: 0-based turn index within the session (``None`` when
+            ``session_id`` is ``None``).  Stage *n + 1*'s prompt extends the
+            accumulated context of stage *n*.
+        session_stages: total turns the session will attempt, used to tell
+            the final stage (whose context is never reused) from
+            intermediate ones.
     """
 
     request_id: str
@@ -69,6 +82,9 @@ class RequestSpec:
     sla_class: str = SLA_CLASS_INTERACTIVE
     user_id: str | None = None
     app_id: str | None = None
+    session_id: str | None = None
+    session_stage: int | None = None
+    session_stages: int | None = None
 
     def __post_init__(self) -> None:
         if self.input_length < 0:
@@ -90,6 +106,17 @@ class RequestSpec:
             raise ValueError("user_id must be None or a non-empty string")
         if self.app_id is not None and not self.app_id:
             raise ValueError("app_id must be None or a non-empty string")
+        if self.session_id is not None and not self.session_id:
+            raise ValueError("session_id must be None or a non-empty string")
+        if (self.session_stage is None) != (self.session_id is None):
+            raise ValueError("session_stage and session_id must be set together")
+        if self.session_stage is not None and self.session_stage < 0:
+            raise ValueError("session_stage must be non-negative")
+        if self.session_stages is not None:
+            if self.session_id is None:
+                raise ValueError("session_stages requires session_id")
+            if self.session_stage is not None and self.session_stage >= self.session_stages:
+                raise ValueError("session_stage must be below session_stages")
 
     @property
     def prompt_tokens(self) -> int:
@@ -117,6 +144,23 @@ class RequestSpec:
     def with_tenant(self, user_id: str | None, app_id: str | None = None) -> "RequestSpec":
         """Copy of this spec stamped with tenant identities."""
         return replace(self, user_id=user_id, app_id=app_id)
+
+    def with_session(
+        self, session_id: str, stage: int, stages: int | None = None
+    ) -> "RequestSpec":
+        """Copy of this spec stamped as turn ``stage`` of a multi-turn session."""
+        return replace(
+            self, session_id=session_id, session_stage=stage, session_stages=stages
+        )
+
+    @property
+    def is_final_stage(self) -> bool:
+        """Whether this is the last turn of its session (``False`` if unknown)."""
+        return (
+            self.session_stage is not None
+            and self.session_stages is not None
+            and self.session_stage == self.session_stages - 1
+        )
 
 
 @dataclass
@@ -198,6 +242,16 @@ class Workload:
     def has_tenants(self) -> bool:
         """Whether any request carries a user or application identity."""
         return any(r.user_id is not None or r.app_id is not None for r in self.requests)
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Distinct session identities present, sorted (sessionless specs excluded)."""
+        return sorted({r.session_id for r in self.requests if r.session_id is not None})
+
+    @property
+    def has_sessions(self) -> bool:
+        """Whether any request belongs to a multi-turn session."""
+        return any(r.session_id is not None for r in self.requests)
 
     def head(self, count: int) -> "Workload":
         """A workload containing the first ``count`` requests."""

@@ -1,0 +1,91 @@
+"""Shared invariant harness for the test suite.
+
+Three contracts recur across the serving tests — conservation (nothing
+vanishes), fingerprint neutrality (a feature left off is byte-invisible),
+and fast-path/reference identity (the event-jump loop consumes the same RNG
+stream and produces bit-identical results).  Each used to be hand-rolled per
+test module; this module is the single implementation they all share.
+
+Every helper accepts results, zero-argument callables producing results, or
+precomputed digest strings, so call sites can pass whatever they already
+have without re-running simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.analysis.perf import cluster_fingerprint, run_fingerprint
+from repro.serving.results import ClusterResult, RunResult
+
+#: Anything the helpers can reduce to a fingerprint digest.
+Fingerprintable = Union[RunResult, ClusterResult, str, Callable[[], "Fingerprintable"]]
+
+
+def fingerprint_of(source: Fingerprintable) -> str:
+    """Reduce a result, callable, or digest string to a fingerprint digest."""
+    if callable(source):
+        source = source()
+    if isinstance(source, str):
+        return source
+    if isinstance(source, ClusterResult):
+        return cluster_fingerprint(source)
+    return run_fingerprint(source)
+
+
+def assert_conservation(result, submitted: int | None = None) -> None:
+    """Routed + rejected must equal submitted — no request ever vanishes.
+
+    Works for both :class:`~repro.serving.results.RunResult` (served ==
+    ``len(requests)``) and ``ClusterResult`` (served == ``routed_requests``,
+    which counts each request once however many retries or migrations it
+    took).  When ``submitted`` is omitted it is derived from the distinct
+    request ids the result knows about, which stays correct when retried
+    copies of one request appear on several replicas.
+    """
+    rejected = len(result.rejected)
+    if isinstance(result, ClusterResult):
+        served = result.routed_requests
+    else:
+        served = len(result.requests)
+    if submitted is None:
+        ids = {r.request_id for r in result.requests}
+        ids |= {r.request_id for r in result.rejected}
+        submitted = len(ids)
+    assert served + rejected == submitted, (
+        f"conservation violated: {served} served + {rejected} rejected "
+        f"!= {submitted} submitted"
+    )
+
+
+def assert_fingerprint_neutral(
+    scenario: Fingerprintable, feature_off: Fingerprintable, label: str = "feature"
+) -> None:
+    """The scenario must hash byte-identically with the feature off.
+
+    ``scenario`` is the run with the subsystem under test present (or a
+    committed pre-feature digest to compare against); ``feature_off`` is the
+    same recipe without it.  Any divergence means the subsystem leaked into
+    a pipeline it was supposed to leave untouched.
+    """
+    on_digest = fingerprint_of(scenario)
+    off_digest = fingerprint_of(feature_off)
+    assert on_digest == off_digest, (
+        f"{label} is not byte-neutral: {on_digest[:16]}... != {off_digest[:16]}..."
+    )
+
+
+def assert_rng_stream_identity(fast: Fingerprintable, reference: Fingerprintable) -> None:
+    """The fast path must be bit-identical to the reference loop.
+
+    Identical fingerprints imply the event-jump loop consumed every RNG
+    stream (admission sampling, retry jitter, fault hashing) exactly as the
+    one-iteration-at-a-time reference did — a jump that skipped or reordered
+    a single draw would cascade into visibly different metrics.
+    """
+    fast_digest = fingerprint_of(fast)
+    reference_digest = fingerprint_of(reference)
+    assert fast_digest == reference_digest, (
+        f"fast path diverged from reference loop: {fast_digest[:16]}... != "
+        f"{reference_digest[:16]}... (results or RNG stream differ)"
+    )

@@ -28,6 +28,7 @@ from repro.serving import ClusterSimulator, ServingSimulator
 from repro.workloads.arrivals import assign_bursty_arrivals
 from repro.workloads.sharegpt import generate_sharegpt_o1_workload, generate_sharegpt_workload
 from repro.workloads.spec import scale_workload
+from tests.helpers import assert_conservation, assert_fingerprint_neutral
 
 #: Engine recipe digest captured before the fairness subsystem landed.
 ENGINE_BASELINE = "c7f9d9f44e7f36be3cda4839722179382036c94c77818a31312038a535c2d307"
@@ -45,7 +46,8 @@ def test_engine_snapshot_matches_pre_fairness_baseline(platform_7b):
     )
     result = simulator.run_closed_loop(workload, num_clients=8)
     assert result.rejected == []
-    assert run_fingerprint(result) == ENGINE_BASELINE
+    assert_conservation(result)
+    assert_fingerprint_neutral(result, ENGINE_BASELINE, label="fairness subsystem")
 
 
 def test_cluster_snapshot_matches_pre_fairness_baseline(platform_7b):
@@ -68,6 +70,7 @@ def test_cluster_snapshot_matches_pre_fairness_baseline(platform_7b):
     )
     result = simulator.run_open_loop(workload)
     assert result.rejected == []
+    assert_conservation(result)
     assert _hash_parts([repr(cluster_snapshot(result))]) == CLUSTER_BASELINE
 
 
@@ -85,4 +88,6 @@ def test_untenanted_fair_scheduler_matches_fcfs_baseline(platform_7b, name):
         digests[scheduler_name] = run_fingerprint(
             simulator.run_closed_loop(workload, num_clients=8)
         )
-    assert digests[name] == digests["aggressive"]
+    assert_fingerprint_neutral(
+        digests[name], digests["aggressive"], label=f"untenanted {name}"
+    )

@@ -132,6 +132,112 @@ class TestDeriveRequestPhases:
         assert phases[0].end == 9.0
         assert not phases[0].complete
 
+    def test_evicted_then_migrated_splits_at_handoff(self):
+        # Evicted on replica 0, then drained to replica 1 *before*
+        # re-admission.  Neither replica may be charged for the other's
+        # wait: the post-eviction span belongs to replica 0 and the new
+        # queue span starts only when the request lands on replica 1.
+        events = [
+            TraceEvent(obs.REQUEST_SUBMIT, 0.0, request_id="r0"),
+            TraceEvent(obs.REQUEST_QUEUED, 0.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_ADMITTED, 1.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_EVICTED, 2.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_QUEUED, 3.0, request_id="r0", replica=1),
+            TraceEvent(obs.REQUEST_ADMITTED, 4.0, request_id="r0", replica=1),
+            TraceEvent(obs.REQUEST_FIRST_TOKEN, 5.0, request_id="r0", replica=1),
+            TraceEvent(obs.REQUEST_FINISHED, 6.0, request_id="r0", replica=1),
+        ]
+        phases = derive_request_phases(events)
+        assert [(p.name, p.start, p.end, p.replica) for p in phases] == [
+            ("queued", 0.0, 1.0, 0),
+            ("prefill", 1.0, 2.0, 0),
+            ("queued", 2.0, 3.0, 0),
+            ("queued", 3.0, 4.0, 1),
+            ("prefill", 4.0, 5.0, 1),
+            ("decode", 5.0, 6.0, 1),
+        ]
+
+    def test_evicted_then_explicit_migrate_keeps_replica_attribution(self):
+        # Same hand-off but with the fleet-level migrate marker present:
+        # the migrate closes the replica-0 wait and the queued refinement
+        # adopts the destination replica without inventing extra spans.
+        events = [
+            TraceEvent(obs.REQUEST_QUEUED, 0.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_ADMITTED, 1.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_EVICTED, 2.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_MIGRATE, 3.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_QUEUED, 3.0, request_id="r0", replica=1),
+            TraceEvent(obs.REQUEST_ADMITTED, 4.0, request_id="r0", replica=1),
+            TraceEvent(obs.REQUEST_FINISHED, 5.0, request_id="r0", replica=1),
+        ]
+        phases = derive_request_phases(events)
+        assert [(p.name, p.start, p.end, p.replica) for p in phases] == [
+            ("queued", 0.0, 1.0, 0),
+            ("prefill", 1.0, 2.0, 0),
+            ("queued", 2.0, 3.0, 0),
+            ("queued", 3.0, 4.0, 1),
+            ("prefill", 4.0, 5.0, 1),
+        ]
+
+    def test_queued_during_running_phase_closes_it(self):
+        # A re-queue observed while prefill/decode is still open (e.g. a
+        # trace missing its evicted marker) must close the running span
+        # rather than silently discard it.
+        events = [
+            TraceEvent(obs.REQUEST_QUEUED, 0.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_ADMITTED, 1.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_QUEUED, 2.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_FINISHED, 3.0, request_id="r0", replica=0),
+        ]
+        phases = derive_request_phases(events)
+        assert [(p.name, p.start, p.end) for p in phases] == [
+            ("queued", 0.0, 1.0),
+            ("prefill", 1.0, 2.0),
+            ("queued", 2.0, 3.0),
+        ]
+
+    def test_eviction_without_handoff_still_refines_same_replica(self):
+        # Same-replica re-queue after eviction stays one span: the
+        # cross-replica split must not trigger when the replica matches
+        # or is simply unknown.
+        events = [
+            TraceEvent(obs.REQUEST_EVICTED, 2.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_QUEUED, 3.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_ADMITTED, 4.0, request_id="r0", replica=0),
+            TraceEvent(obs.REQUEST_FINISHED, 5.0, request_id="r0", replica=0),
+        ]
+        phases = derive_request_phases(events)
+        assert [(p.name, p.start, p.end, p.replica) for p in phases] == [
+            ("queued", 2.0, 4.0, 0),
+            ("prefill", 4.0, 5.0, 0),
+        ]
+
+    def test_session_and_prefix_events_render_as_instants(self, platform_7b):
+        ring = RingTracer()
+        sim = ServingSimulator(
+            platform=platform_7b,
+            scheduler=ConservativeScheduler(),
+            token_capacity_override=TINY_CAPACITY,
+            tracer=ring,
+            prefix_cache_tokens=TINY_CAPACITY,
+        )
+        from repro.workloads.interactions import generate_interactions
+
+        result = sim.run_sessions(generate_interactions(6, seed=3, min_turns=2))
+        assert result.completed
+        session_names = {
+            e.name
+            for e in ring.events
+            if e.name.startswith("session.") or e.name.startswith("prefix.")
+        }
+        assert obs.SESSION_START in session_names
+        assert obs.SESSION_END in session_names
+        assert obs.PREFIX_HIT in session_names
+        instants = {
+            e["name"] for e in chrome_trace(ring.events)["traceEvents"] if e["ph"] == "i"
+        }
+        assert session_names <= instants
+
     def test_real_run_phases_cover_all_requests(self, platform_7b):
         events = server_trace(platform_7b)
         phases = derive_request_phases(events)

@@ -19,6 +19,7 @@ from repro.schedulers.conservative import ConservativeScheduler
 from repro.serving.cluster import ClusterSimulator
 from repro.serving.server import ServingSimulator
 from tests.conftest import TINY_CAPACITY, make_workload
+from tests.helpers import assert_fingerprint_neutral
 
 
 def server_fingerprint(platform, tracer):
@@ -46,13 +47,21 @@ def fleet_fingerprint(platform, tracer):
 class TestTracerNeutrality:
     def test_server_fingerprint_is_tracer_independent(self, platform_7b):
         untraced = server_fingerprint(platform_7b, None)
-        assert server_fingerprint(platform_7b, NullTracer()) == untraced
-        assert server_fingerprint(platform_7b, RingTracer()) == untraced
+        for tracer in (NullTracer(), RingTracer()):
+            assert_fingerprint_neutral(
+                lambda: server_fingerprint(platform_7b, tracer),
+                untraced,
+                label=type(tracer).__name__,
+            )
 
     def test_cluster_fingerprint_is_tracer_independent(self, platform_7b):
         untraced = fleet_fingerprint(platform_7b, None)
-        assert fleet_fingerprint(platform_7b, NullTracer()) == untraced
-        assert fleet_fingerprint(platform_7b, RingTracer()) == untraced
+        for tracer in (NullTracer(), RingTracer()):
+            assert_fingerprint_neutral(
+                lambda: fleet_fingerprint(platform_7b, tracer),
+                untraced,
+                label=type(tracer).__name__,
+            )
 
 
 class TestCommittedSnapshots:
@@ -67,9 +76,13 @@ class TestCommittedSnapshots:
         # its digest must equal the snapshot taken before tracing landed.
         scenario = next(s for s in SCENARIOS if s.name == "fig12_heterogeneous")
         _, digest, _ = scenario.run(True)
-        assert digest == committed["fig12_heterogeneous"]["fingerprint"]
+        assert_fingerprint_neutral(
+            digest, committed["fig12_heterogeneous"]["fingerprint"], label="tracing"
+        )
 
     def test_fig12_traced_run_matches_snapshot_too(self, committed):
         scenario = next(s for s in SCENARIOS if s.name == "fig12_heterogeneous")
         _, digest, _ = scenario.run(True, tracer=RingTracer(capacity=1024))
-        assert digest == committed["fig12_heterogeneous"]["fingerprint"]
+        assert_fingerprint_neutral(
+            digest, committed["fig12_heterogeneous"]["fingerprint"], label="RingTracer"
+        )

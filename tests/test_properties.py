@@ -15,7 +15,14 @@ from repro.core.future_memory import (
 from repro.core.history import OutputLengthHistory
 from repro.core.predictor import build_predictor
 from repro.memory.block_manager import BlockKVCachePool
+from repro.memory.prefix_cache import PrefixCache
 from repro.metrics.similarity import cosine_similarity, default_bin_edges, length_histogram
+from repro.workloads.interactions import (
+    Interaction,
+    InteractionLoadGenerator,
+    InteractionStage,
+    generate_interactions,
+)
 
 entry_strategy = st.builds(
     BatchEntry,
@@ -163,3 +170,190 @@ class TestSimilarityProperties:
         edges = default_bin_edges(2048, 32)
         hist = length_histogram(lengths, edges)
         assert hist.sum() == 0.0 or abs(cosine_similarity(hist, hist) - 1.0) < 1e-9
+
+
+class TestPrefixCacheProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(1, 96)),
+            min_size=1,
+            max_size=40,
+        ),
+        capacity=st.integers(32, 256),
+        pool_tokens=st.integers(128, 512),
+    )
+    @settings(max_examples=50)
+    def test_residency_never_exceeds_budget_or_pool(self, ops, capacity, pool_tokens):
+        """Under any retain/evict pressure the cache stays inside both budgets.
+
+        Each op parks one finished turn's context (evicting cached prefixes
+        first when the pool is too full to even allocate it, as the engine
+        does for live traffic).  After every single operation: resident
+        tokens respect the cache's own budget, match the sum over entries,
+        equal the pool's pinned tokens, and the pool never overflows.
+        """
+        pool = BlockKVCachePool(pool_tokens, block_size=1)
+        cache = PrefixCache(pool, capacity_tokens=capacity)
+        stages: dict[str, int] = {}
+        for index, (session, tokens) in enumerate(ops):
+            sid = f"s{session}"
+            rid = f"{sid}/t{stages.get(sid, 0)}-{index}"
+            if not pool.can_allocate(tokens):
+                cache.evict_for_allocation(tokens)
+            if not pool.can_allocate(tokens):
+                continue
+            pool.allocate(rid, tokens)
+            outcome = cache.retain(rid, sid, stages.get(sid, 0), tokens)
+            stages[sid] = stages.get(sid, 0) + 1
+            if not outcome.retained:
+                pool.free(rid)
+            assert cache.resident_tokens <= capacity
+            assert cache.resident_tokens == sum(e.tokens for e in cache.entries())
+            assert cache.resident_tokens == pool.pinned_tokens
+            assert pool.used_tokens <= pool.token_capacity
+        cache.clear()
+        assert cache.resident_tokens == 0
+        assert pool.pinned_tokens == 0
+
+    @given(
+        prompt=st.integers(1, 64),
+        output=st.integers(1, 64),
+        extra=st.integers(1, 32),
+    )
+    @settings(max_examples=50)
+    def test_retained_prefix_is_claimable_by_exactly_the_next_stage(
+        self, prompt, output, extra
+    ):
+        interaction = Interaction(
+            session_id="s0",
+            stages=(
+                InteractionStage(prompt_tokens=prompt, output_tokens=output),
+                InteractionStage(prompt_tokens=extra, output_tokens=1),
+            ),
+        )
+        context = prompt + output
+        pool = BlockKVCachePool(4 * (context + extra + 1), block_size=1)
+        cache = PrefixCache(pool)
+        pool.allocate("s0/t0", context)
+        outcome = cache.retain("s0/t0", "s0", 0, context)
+        assert outcome.retained and not outcome.evicted
+        assert pool.pinned_tokens == context
+        # Only the immediately following stage may claim the entry; a replay
+        # of the retained stage itself finds nothing.
+        assert cache.lookup(interaction.spec(0)) is None
+        next_spec = interaction.spec(1)
+        entry = cache.lookup(next_spec)
+        assert entry is not None and entry.tokens == context
+        cache.claim(entry, next_spec.request_id)
+        assert len(cache) == 0 and cache.resident_tokens == 0
+        assert pool.pinned_tokens == 0
+        assert pool.tokens_of(next_spec.request_id) == context
+
+
+class TestSessionStageProperties:
+    @given(
+        num_sessions=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+        min_turns=st.integers(1, 3),
+        extra_turns=st.integers(0, 6),
+    )
+    @settings(max_examples=50)
+    def test_stage_ordering_is_total_per_session(
+        self, num_sessions, seed, min_turns, extra_turns
+    ):
+        """Stage order is total per session id, recoverable from any shuffle.
+
+        Request ids are ``{session_id}/t{stage}``, stages run 0..n-1 with no
+        gaps, and prefix accumulation makes input lengths strictly increasing
+        across a session's turns — so sorting a session's specs by any of id,
+        stage, or input length yields the same (unique) order.
+        """
+        sessions = generate_interactions(
+            num_sessions,
+            seed=seed,
+            min_turns=min_turns,
+            max_turns=min_turns + extra_turns,
+        )
+        assert len({s.session_id for s in sessions}) == len(sessions)
+        for interaction in sessions:
+            specs = [interaction.spec(stage) for stage in range(interaction.num_stages)]
+            assert [s.request_id for s in specs] == [
+                f"{interaction.session_id}/t{stage}" for stage in range(len(specs))
+            ]
+            assert [s.session_stage for s in specs] == list(range(len(specs)))
+            lengths = [s.input_length for s in specs]
+            assert lengths == sorted(lengths)
+            assert len(set(lengths)) == len(lengths)
+            assert specs[-1].is_final_stage
+            assert not any(s.is_final_stage for s in specs[:-1])
+
+    @given(num_sessions=st.integers(1, 10), seed=st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_generation_is_deterministic_in_the_seed(self, num_sessions, seed):
+        assert generate_interactions(num_sessions, seed=seed) == generate_interactions(
+            num_sessions, seed=seed
+        )
+
+
+class _FinishedTurn:
+    """Minimal stand-in for a finished engine request (spec + is_finished)."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.is_finished = True
+
+
+class TestSpawnedArrivalProperties:
+    @given(
+        seed=st.integers(0, 500),
+        num_sessions=st.integers(1, 8),
+        think_time=st.floats(0.0, 5.0),
+        start_spacing=st.floats(0.0, 3.0),
+        service_time=st.floats(0.001, 2.0),
+    )
+    @settings(max_examples=50)
+    def test_spawned_arrivals_are_monotone_per_session(
+        self, seed, num_sessions, think_time, start_spacing, service_time
+    ):
+        """Turn *n + 1* never arrives before turn *n* completes, any seed.
+
+        Drives the closed-loop generator to drain with a fixed per-turn
+        service time: every session's arrivals come out in stage order, each
+        at least one service (plus think) time after its predecessor, and
+        the global pop clock never runs backwards.
+        """
+        sessions = generate_interactions(
+            num_sessions,
+            seed=seed,
+            min_turns=1,
+            max_turns=6,
+            think_time=think_time,
+            start_spacing=start_spacing,
+        )
+        generator = InteractionLoadGenerator(sessions)
+        generator.start(0.0)
+        arrivals: dict[str, list[tuple[int, float]]] = {}
+        last_pop = -1.0
+        while not generator.drained:
+            now = generator.next_arrival_time()
+            assert now is not None
+            assert now >= last_pop
+            last_pop = now
+            ready = generator.pop_arrivals(now)
+            assert ready
+            for spec in ready:
+                arrivals.setdefault(spec.session_id, []).append(
+                    (spec.session_stage, spec.arrival_time)
+                )
+                finish = now + service_time
+                generator.on_request_completed(_FinishedTurn(spec), finish)
+                generator.on_request_finished(finish)
+        assert generator.in_flight == 0
+        assert set(arrivals) == {s.session_id for s in sessions}
+        for interaction in sessions:
+            turns = arrivals[interaction.session_id]
+            assert [stage for stage, _ in turns] == list(range(interaction.num_stages))
+            assert generator.turns_completed[interaction.session_id] == interaction.num_stages
+            times = [time for _, time in turns]
+            for earlier, later in zip(times, times[1:]):
+                assert later >= earlier + service_time + think_time - 1e-9

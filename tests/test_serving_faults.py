@@ -41,6 +41,7 @@ from repro.serving.routing import ReplicaView, Router
 from repro.serving.server import SimulationLimits
 from repro.workloads.spec import RequestSpec, Workload
 from tests.conftest import make_workload
+from tests.helpers import assert_conservation, assert_rng_stream_identity
 
 
 def make_cluster(platform_7b, faults=None, num_replicas=3, **kwargs):
@@ -147,7 +148,7 @@ class TestCrashRecovery:
         assert result.completed
         # Crashed work re-routes and everything still finishes.
         assert len(result.finished_requests) == 24
-        assert result.routed_requests + len(result.rejected) == 24
+        assert_conservation(result, 24)
         assert len(result.failed) >= 1
         assert result.retries >= len(result.failed)
         # The dead replica was replaced: four lifetimes, one retired.
@@ -164,7 +165,7 @@ class TestCrashRecovery:
         result = make_cluster(platform_7b, plan).run_open_loop(spread_workload())
         assert len(result.failed) >= 1
         assert result.reject_reasons.get(REASON_REPLICA_CRASH) == len(result.failed)
-        assert result.routed_requests + len(result.rejected) == 24
+        assert_conservation(result, 24)
         assert result.retries == 0
 
     def test_crash_is_deterministic(self, platform_7b):
@@ -185,7 +186,7 @@ class TestCrashRecovery:
         )
         # The run terminates (no infinite retry loop against a dead fleet)
         # and every late arrival lands in a typed reject bucket.
-        assert result.routed_requests + len(result.rejected) == 30
+        assert_conservation(result, 30)
         assert result.reject_reasons.get(REASON_NO_REPLICAS, 0) >= 1
         assert len(result.finished_requests) < 30
 
@@ -223,7 +224,7 @@ class TestPreemption:
             platform_7b, plan, num_replicas=2, capacity=1024
         ).run_open_loop(Workload(name="preempt-suite", requests=specs))
         assert result.migrations >= 1
-        assert result.routed_requests + len(result.rejected) == 12
+        assert_conservation(result, 12)
         assert len(result.finished_requests) == 12
         kinds = [event.kind for event in result.fault_events]
         assert "preemption" in kinds
@@ -243,7 +244,7 @@ class TestPreemption:
         kinds = [event.kind for event in result.fault_events]
         assert "preemption" in kinds
         assert "preemption-deadline" in kinds
-        assert result.routed_requests + len(result.rejected) == 16
+        assert_conservation(result, 16)
 
 
 class TestStragglers:
@@ -286,7 +287,7 @@ class TestRoutingErrors:
         result = make_cluster(platform_7b, plan).run_open_loop(spread_workload())
         assert result.retries >= 1
         assert len(result.finished_requests) == 24
-        assert result.routed_requests + len(result.rejected) == 24
+        assert_conservation(result, 24)
 
     def test_total_errors_exhaust_retries_typed(self, platform_7b):
         plan = FaultPlan(
@@ -297,7 +298,7 @@ class TestRoutingErrors:
         result = make_cluster(platform_7b, plan).run_open_loop(spread_workload(num_requests=6))
         assert len(result.finished_requests) == 0
         assert result.reject_reasons.get(REASON_RETRIES_EXHAUSTED) == 6
-        assert result.routed_requests + len(result.rejected) == 6
+        assert_conservation(result, 6)
 
 
 class TestEndOfRunFlush:
@@ -321,7 +322,7 @@ class TestEndOfRunFlush:
         ).run_open_loop(spread_workload(num_requests=8, output=256, spacing=0.0))
         assert not result.completed
         assert result.reject_reasons.get(REASON_UNROUTED, 0) >= 1
-        assert result.routed_requests + len(result.rejected) == 8
+        assert_conservation(result, 8)
 
 
 class TestNeutrality:
@@ -358,7 +359,7 @@ class TestNeutrality:
         reference = make_cluster(platform_7b, plan, fast_path=False).run_open_loop(
             spread_workload()
         )
-        assert cluster_fingerprint(fast) == cluster_fingerprint(reference)
+        assert_rng_stream_identity(fast, reference)
 
 
 class TestAvailabilityMetrics:

@@ -470,9 +470,13 @@ class TestRegistry:
             "least-outstanding",
             "memory-aware",
             "round-robin",
+            "session-affinity",
         ]
 
-    @pytest.mark.parametrize("name", ["round-robin", "least-outstanding", "least-kv-load", "memory-aware"])
+    @pytest.mark.parametrize(
+        "name",
+        ["round-robin", "least-outstanding", "least-kv-load", "memory-aware", "session-affinity"],
+    )
     def test_create_by_name(self, name):
         assert create_router(name).name == name
 

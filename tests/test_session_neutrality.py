@@ -1,0 +1,143 @@
+"""The session subsystem must be byte-invisible when no interactions run.
+
+This PR threaded session identity, a per-replica prefix cache, and session
+trace events through the workload model, the engine, and both simulators.
+None of that may move a single float in session-free experiments:
+
+* the committed ``BENCH_core.json`` fingerprints of the pre-existing
+  scenarios must stay byte-identical (the full set is re-proved by CI's
+  perf-smoke; the fleet scenarios whose code paths this PR touched most are
+  re-run here);
+* session-free snapshots must carry no ``sessions``/``prefix`` keys, so
+  every committed digest is unchanged by the fields' existence;
+* with ``prefix_cache_tokens`` unset (the default everywhere), the
+  ``PrefixCache`` class must never even be instantiated, let alone
+  consulted;
+* session-free traced runs must emit no ``session.*`` / ``prefix.*`` events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perf import (
+    BENCH_PATH,
+    SCENARIOS,
+    cluster_snapshot,
+    run_snapshot,
+)
+from repro.memory import prefix_cache as prefix_cache_module
+from repro.obs.tracer import RingTracer
+from repro.schedulers.conservative import ConservativeScheduler
+from repro.serving.cluster import ClusterSimulator
+from repro.serving.server import ServingSimulator
+from tests.conftest import TINY_CAPACITY, make_workload
+from tests.helpers import assert_fingerprint_neutral
+
+
+def run_server(platform, tracer=None):
+    sim = ServingSimulator(
+        platform=platform,
+        scheduler=ConservativeScheduler(),
+        token_capacity_override=TINY_CAPACITY,
+        tracer=tracer,
+    )
+    return sim, sim.run_closed_loop(make_workload(num_requests=12), num_clients=4)
+
+
+def run_cluster(platform, tracer=None):
+    sim = ClusterSimulator(
+        platform=platform,
+        num_replicas=2,
+        router="least-outstanding",
+        scheduler_name="conservative",
+        token_capacity_override=TINY_CAPACITY,
+        tracer=tracer,
+    )
+    return sim, sim.run_closed_loop(make_workload(num_requests=12), num_clients=4)
+
+
+class TestSnapshotsCarryNoSessionKeys:
+    def test_server_snapshot_has_no_session_or_prefix_block(self, platform_7b):
+        _, result = run_server(platform_7b)
+        snapshot = run_snapshot(result)
+        assert "sessions" not in snapshot
+        assert "prefix" not in snapshot
+        assert result.prefix_stats is None
+
+    def test_cluster_snapshot_has_no_session_or_prefix_block(self, platform_7b):
+        _, result = run_cluster(platform_7b)
+        snapshot = cluster_snapshot(result)
+        assert "sessions" not in snapshot
+        assert result.prefix_stats is None
+        for replica in snapshot["replicas"]:
+            assert "sessions" not in replica
+            assert "prefix" not in replica
+
+
+class TestPrefixCacheNeverConsulted:
+    @pytest.fixture
+    def forbidden_cache(self, monkeypatch):
+        """Any PrefixCache instantiation during the test is an error."""
+
+        def explode(self, *args, **kwargs):
+            raise AssertionError("PrefixCache constructed in a session-free run")
+
+        monkeypatch.setattr(prefix_cache_module.PrefixCache, "__init__", explode)
+
+    def test_server_without_budget_never_builds_a_cache(
+        self, platform_7b, forbidden_cache
+    ):
+        sim, result = run_server(platform_7b)
+        assert result.completed
+        assert sim.engine.prefix_cache is None
+
+    def test_cluster_without_budget_never_builds_a_cache(
+        self, platform_7b, forbidden_cache
+    ):
+        sim, result = run_cluster(platform_7b)
+        assert result.completed
+        for replica in sim.replicas:
+            assert replica.engine.prefix_cache is None
+
+
+class TestNoSessionEventsWithoutSessions:
+    def test_server_trace_is_free_of_session_and_prefix_events(self, platform_7b):
+        ring = RingTracer()
+        run_server(platform_7b, tracer=ring)
+        names = {e.name for e in ring.events}
+        assert not {n for n in names if n.startswith(("session.", "prefix."))}
+
+    def test_cluster_trace_is_free_of_session_and_prefix_events(self, platform_7b):
+        ring = RingTracer()
+        run_cluster(platform_7b, tracer=ring)
+        names = {e.name for e in ring.events}
+        assert not {n for n in names if n.startswith(("session.", "prefix."))}
+
+
+class TestCommittedFingerprints:
+    """Spot-check the committed scenarios over the session-touched code paths.
+
+    The full eight-scenario sweep runs in CI's perf-smoke; here the three
+    fleet scenarios whose code this PR edited most (routing/finish hooks in
+    the cluster loop, the throttle/reject session-abandon paths, the fault
+    retry machinery) are re-run fast-path and compared byte-for-byte.
+    """
+
+    @pytest.fixture(scope="class")
+    def committed(self) -> dict:
+        if not BENCH_PATH.exists():
+            pytest.skip("no committed BENCH_core.json in this checkout")
+        return json.loads(BENCH_PATH.read_text())["scenarios"]
+
+    @pytest.mark.parametrize(
+        "name", ["fig10_cluster_routing", "fig13_fairness", "fig14_failure_recovery"]
+    )
+    def test_scenario_fingerprint_unmoved_by_session_subsystem(self, committed, name):
+        scenario = next(s for s in SCENARIOS if s.name == name)
+        _, digest, _ = scenario.run(True)
+        assert_fingerprint_neutral(
+            digest, committed[name]["fingerprint"], label="session subsystem"
+        )

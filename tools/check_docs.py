@@ -45,6 +45,7 @@ REQUIRED_DOCS = (
     "observability.md",
     "performance.md",
     "resilience.md",
+    "sessions.md",
     "simulation-semantics.md",
 )
 
